@@ -1,0 +1,77 @@
+"""Shared benchmark fixtures.
+
+The experiment benches reproduce the paper's tables and figures.  Scale is
+controlled by environment variables so that a laptop run finishes in
+minutes while preserving distribution shape:
+
+* ``HASHCORE_BENCH_WIDGETS`` — widget population size (default 60; the
+  paper uses 1000 native-speed widgets),
+* ``HASHCORE_BENCH_INSTR`` — target dynamic instructions per widget
+  (default 60000; paper-scale widgets run millions).
+
+Each experiment writes its rendered table to ``benchmarks/results/<id>.txt``
+(and prints it, visible with ``pytest -s``); EXPERIMENTS.md records the
+paper-vs-measured comparison from these outputs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.default_profile import default_profile
+from repro.core.seed import HashSeed
+from repro.machine.cpu import Machine
+from repro.widgetgen.generator import WidgetGenerator
+from repro.widgetgen.params import GeneratorParams
+
+import hashlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_WIDGETS = int(os.environ.get("HASHCORE_BENCH_WIDGETS", "60"))
+TARGET_INSTRUCTIONS = int(os.environ.get("HASHCORE_BENCH_INSTR", "60000"))
+
+
+def bench_seed(tag) -> HashSeed:
+    """Deterministic seed for benchmark populations."""
+    return HashSeed(hashlib.sha256(f"bench-{tag}".encode()).digest())
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist one experiment's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return default_profile()
+
+
+@pytest.fixture(scope="session")
+def params() -> GeneratorParams:
+    return GeneratorParams(target_instructions=TARGET_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def generator(profile, params) -> WidgetGenerator:
+    return WidgetGenerator(profile, params)
+
+
+@pytest.fixture(scope="session")
+def population(generator, machine):
+    """The shared executed widget population: [(widget, result), ...]."""
+    out = []
+    for i in range(N_WIDGETS):
+        widget = generator.widget(bench_seed(i))
+        out.append((widget, widget.execute(machine)))
+    return out

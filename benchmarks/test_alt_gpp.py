@@ -1,0 +1,89 @@
+"""E10 — §VI-B: targeting alternative GPPs.
+
+"There is no reason that the HashCore framework could not be leveraged on
+a variety of other chip architectures, such as ARM cores" — the framework
+is modular in the machine.  This bench runs the same widget population on
+the ARM-like and scalar-in-order configs:
+
+* hashes are identical everywhere (architectural output), so the chips
+  form one mining network;
+* hash *rates* differ with microarchitectural capability, which is the
+  economically relevant axis.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+from repro.machine.config import mobile_arm, scalar_inorder
+from repro.machine.cpu import Machine
+
+from benchmarks.conftest import bench_seed, save_result
+
+
+def test_alternative_gpp_targets(benchmark, population, generator, machine, profile):
+    arm = Machine(mobile_arm())
+    scalar = Machine(scalar_inorder())
+    sample = population[:10]
+
+    rows = []
+    speedups = {}
+    for name, target in (("ivy-bridge", machine), ("mobile-arm", arm),
+                         ("scalar-inorder", scalar)):
+        cycles = []
+        for widget, reference_result in sample:
+            result = widget.execute(target)
+            assert result.output == reference_result.output  # same hash everywhere
+            cycles.append(result.counters.cycles)
+        mean_cycles = statistics.mean(cycles)
+        speedups[name] = mean_cycles
+        rows.append([name, mean_cycles,
+                     statistics.mean(
+                         r.counters.retired for _, r in sample
+                     ) / mean_cycles])
+
+    base = speedups["ivy-bridge"]
+    table = render_table(
+        ["machine", "mean cycles/widget", "IPC"],
+        rows,
+        title="Same widgets, alternative GPPs (outputs bit-identical; only "
+        "speed differs)",
+    )
+    save_result(
+        "alt_gpp",
+        table
+        + f"\n\nrelative hashrate: ivy-bridge 1.00, mobile-arm "
+        f"{base/speedups['mobile-arm']:.2f}, scalar-inorder "
+        f"{base/speedups['scalar-inorder']:.2f}",
+    )
+
+    # The big OoO core must win, the scalar core must lose badly — the
+    # per-chip capability ordering a real mining market would price.
+    assert speedups["ivy-bridge"] < speedups["mobile-arm"] < speedups["scalar-inorder"]
+
+    widget = generator.widget(bench_seed("alt-gpp"))
+    benchmark.pedantic(lambda: widget.execute(arm), rounds=3, iterations=1)
+
+
+def test_arm_native_profile_generation(benchmark, profile):
+    """Full §VI-B modularity: profile a workload *on the ARM machine* and
+    generate widgets against that profile — 'only a new widget generator
+    script' is needed, here not even that."""
+    from repro.profiling.profiler import profile_workload
+    from repro.widgetgen.generator import WidgetGenerator
+    from repro.widgetgen.params import GeneratorParams
+    from repro.workloads.leela import LeelaWorkload
+
+    arm = Machine(mobile_arm())
+    arm_profile = profile_workload(LeelaWorkload(), arm)
+    params = GeneratorParams(target_instructions=20_000, snapshot_interval=500)
+    generator = WidgetGenerator(arm_profile, params)
+    widget = generator.widget(bench_seed("arm-native"))
+    result = widget.execute(arm)
+    assert result.counters.retired > 5_000
+    # The ARM profile differs from the x86 one (different caches/predictor),
+    # so the generated widgets differ too.
+    assert arm_profile.ipc != profile.ipc
+
+    benchmark.pedantic(lambda: generator.spec(bench_seed("arm-2")), rounds=5, iterations=1)

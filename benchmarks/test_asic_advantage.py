@@ -1,0 +1,154 @@
+"""E8 — ASIC advantage across PoW functions (§II, §III quantified).
+
+The paper's economic argument: functions that exercise a subset of the
+GPP invite ASICs that "strip away everything else"; HashCore exercises
+everything, so the best ASIC ≈ the GPP itself.  The model's advantage
+factors must reproduce that ordering:
+
+    sha256d  >>  scrypt  >  equihash  >  randomx-like  >  hashcore ~ 1
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+from repro.asicmodel.advantage import AsicModel, PowTraits, utilization_from_counters
+from repro.baselines.equihash_like import EquihashLike
+from repro.baselines.randomx_like import RandomXLike
+from repro.baselines.scrypt_like import ScryptLike
+from repro.baselines.sha256d import Sha256d
+
+from benchmarks.conftest import bench_seed, save_result
+
+
+def _mean_utilization(results, config):
+    totals: dict[str, float] = {}
+    for counters in results:
+        for key, value in utilization_from_counters(counters, config).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {k: v / len(results) for k, v in totals.items()}
+
+
+def test_asic_advantage_ordering(benchmark, population, machine):
+    model = AsicModel()
+
+    hashcore_u = _mean_utilization(
+        [result.counters for _, result in population], machine.config
+    )
+    advantages = {
+        "sha256d": model.advantage(
+            "sha256d", Sha256d.resource_profile(), PowTraits(fixed_function=True)
+        ),
+        "scrypt-like": model.advantage(
+            "scrypt-like",
+            ScryptLike(n=1024).resource_profile(),
+            PowTraits(fixed_function=True),
+        ),
+        "equihash-like": model.advantage(
+            "equihash-like",
+            EquihashLike().resource_profile(),
+            PowTraits(fixed_function=True),
+        ),
+    }
+    rx = RandomXLike(program_size=128, loop_trips=32)
+    rx_counters = [rx.run(bytes([i]) * 32)[1] for i in range(3)]
+    advantages["randomx-like"] = model.advantage(
+        "randomx-like",
+        _mean_utilization(rx_counters, rx.machine.config),
+        PowTraits(fixed_function=False),
+    )
+    advantages["hashcore (leela)"] = model.advantage(
+        "hashcore (leela)",
+        hashcore_u,
+        PowTraits(fixed_function=False, requires_generation=True),
+    )
+
+    # HashCore over the full workload suite: widgets from every profile.
+    # The paper evaluates the Leela profile only ("there is nothing unique
+    # about this workload"); Leela barely uses FP/vector, so a leela-only
+    # HashCore ASIC could strip those units.  Rotating profiles across the
+    # SPEC-like suite forces the ASIC to provision for the *max* demand per
+    # resource — the §IV-A goal of stressing every structure.
+    from repro.profiling.profiler import profile_workload
+    from repro.widgetgen.generator import WidgetGenerator
+    from repro.widgetgen.params import GeneratorParams
+    from repro.workloads.suite import SUITE, get_workload
+
+    suite_params = GeneratorParams(target_instructions=20_000, snapshot_interval=500)
+    suite_max: dict[str, float] = dict(hashcore_u)
+    for name in SUITE:
+        if name == "leela":
+            continue
+        wl_profile = profile_workload(get_workload(name), machine)
+        wl_generator = WidgetGenerator(wl_profile, suite_params)
+        counters = [
+            wl_generator.widget(bench_seed(f"suite-{name}-{i}")).execute(machine).counters
+            for i in range(3)
+        ]
+        for key, value in _mean_utilization(counters, machine.config).items():
+            suite_max[key] = max(suite_max[key], value)
+    advantages["hashcore (suite)"] = model.advantage(
+        "hashcore (suite)",
+        suite_max,
+        PowTraits(fixed_function=False, requires_generation=True),
+    )
+
+    rows = [
+        [name, adv.area_advantage, adv.energy_advantage, adv.asic_area]
+        for name, adv in advantages.items()
+    ]
+    table = render_table(
+        ["PoW function", "ASIC area advantage", "energy advantage", "ASIC area (GPP=129)"],
+        rows,
+        title="Best-ASIC advantage (lower = more GPP-friendly; paper argues "
+        "HashCore -> ~1)",
+    )
+    note = (
+        "note: leela-profile-only widgets leave FP/vector idle, so a "
+        "leela-specific ASIC strips them; rotating widget profiles across "
+        "the suite closes that gap (extension of the paper's single-profile "
+        "evaluation)."
+    )
+    save_result("asic_advantage", table + "\n\n" + note)
+
+    order = [
+        "sha256d", "scrypt-like", "equihash-like", "randomx-like",
+        "hashcore (suite)",
+    ]
+    factors = [advantages[name].area_advantage for name in order]
+    assert factors == sorted(factors, reverse=True), factors
+    assert advantages["sha256d"].area_advantage > 20
+    assert advantages["hashcore (suite)"].area_advantage < 1.3
+    assert advantages["hashcore (leela)"].area_advantage < 1.6
+
+    benchmark(
+        lambda: model.advantage(
+            "hashcore",
+            hashcore_u,
+            PowTraits(fixed_function=False, requires_generation=True),
+        )
+    )
+
+
+def test_profile_matching_widens_coverage_vs_uniform(benchmark, population, machine):
+    """Ablation (§VI-C): HashCore's profile-matched widgets stress the
+    branch predictor, which RandomX-style branch-free uniform programs
+    leave idle — the resource-coverage difference between the two
+    generation strategies."""
+    hashcore_u = _mean_utilization(
+        [result.counters for _, result in population], machine.config
+    )
+    rx = RandomXLike(program_size=128, loop_trips=32)
+    rx_u = _mean_utilization(
+        [rx.run(bytes([i]) * 32)[1] for i in range(3)], rx.machine.config
+    )
+    table = render_table(
+        ["resource", "hashcore", "randomx-like"],
+        [[k, hashcore_u[k], rx_u[k]] for k in sorted(hashcore_u)],
+        title="Utilization coverage: inverted benchmarking vs uniform random code",
+    )
+    save_result("asic_coverage", table)
+
+    assert hashcore_u["branch_predictor"] > 4 * rx_u["branch_predictor"]
+    benchmark(lambda: statistics.mean(hashcore_u.values()))

@@ -1,0 +1,76 @@
+"""Extension experiment — market centralization by PoW function (§III).
+
+Connects the E8 advantage factors to mining-market outcomes: a fixed-
+capital attacker deploys the best available hardware for each PoW
+function; the table shows the share of the network it captures and the
+revenue Gini across all miners.  The paper's thesis in one table: the
+smaller the ASIC advantage, the closer the market stays to
+"equal hardware, equal opportunity".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.market import centralization_study
+from repro.analysis.report import render_table
+from repro.asicmodel.advantage import AsicModel, PowTraits, utilization_from_counters
+from repro.baselines.scrypt_like import ScryptLike
+from repro.baselines.sha256d import Sha256d
+
+from benchmarks.conftest import save_result
+
+
+def test_centralization_by_pow_function(benchmark, population, machine):
+    model = AsicModel()
+
+    totals: dict[str, float] = {}
+    for _, result in population:
+        for key, value in utilization_from_counters(
+            result.counters, machine.config
+        ).items():
+            totals[key] = totals.get(key, 0.0) + value
+    hashcore_u = {k: v / len(population) for k, v in totals.items()}
+
+    advantages = {
+        "sha256d": model.advantage(
+            "sha256d", Sha256d.resource_profile(), PowTraits(True)
+        ).area_advantage,
+        "scrypt-like": model.advantage(
+            "scrypt-like", ScryptLike(n=1024).resource_profile(), PowTraits(True)
+        ).area_advantage,
+        "hashcore": model.advantage(
+            "hashcore", hashcore_u, PowTraits(False, requires_generation=True)
+        ).area_advantage,
+    }
+
+    rows = []
+    results = {}
+    for name, advantage in advantages.items():
+        study = centralization_study(
+            max(1.0, advantage),
+            n_home_miners=50,
+            attacker_budget_rate=10.0,
+            blocks=1500,
+            seed=11,
+        )
+        results[name] = study
+        rows.append([
+            name,
+            advantage,
+            study.attacker_share_simulated,
+            study.revenue_gini,
+        ])
+
+    table = render_table(
+        ["PoW function", "ASIC advantage", "ASIC-owner block share",
+         "revenue Gini"],
+        rows,
+        title="Fixed-capital attacker with best hardware, 50 home miners "
+        "(capital alone would buy a 1/6 share)",
+    )
+    save_result("centralization", table)
+
+    assert results["sha256d"].attacker_share_simulated > 0.85
+    assert results["hashcore"].attacker_share_simulated < 0.30
+    assert results["hashcore"].revenue_gini < results["sha256d"].revenue_gini
+
+    benchmark(lambda: centralization_study(2.0, blocks=200, seed=1))

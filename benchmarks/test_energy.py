@@ -1,0 +1,77 @@
+"""Extension experiment — on-GPP energy profiles (§II's energy argument).
+
+Ren & Devadas [10] (cited by the paper) argue that memory-hard PoW loses
+its ASIC resistance on the *energy* axis.  This bench measures on-GPP
+energy composition for the workload suite and for the two random-code PoW
+functions, showing the lever the argument pulls on: memory-bound code
+spends its joules on DRAM + waiting, compute-rich code on execution units
+— and only the latter keeps an ASIC's energy advantage small.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+from repro.baselines.randomx_like import RandomXLike
+from repro.machine.energy import EnergyModel
+from repro.workloads import SUITE, get_workload
+
+from benchmarks.conftest import save_result
+
+
+def test_energy_composition(benchmark, machine, population):
+    model = EnergyModel()
+    rows = []
+    for name in sorted(SUITE):
+        result = get_workload(name).build().run(machine)
+        breakdown = model.energy_of(result.counters)
+        rows.append([
+            name,
+            breakdown.per_instruction(result.counters.retired),
+            breakdown.compute / breakdown.total,
+            breakdown.memory_share(),
+            breakdown.static / breakdown.total,
+        ])
+
+    widget_breakdowns = [
+        model.energy_of(result.counters) for _, result in population[:12]
+    ]
+    rows.append([
+        "hashcore-widgets",
+        statistics.mean(
+            b.per_instruction(r.counters.retired)
+            for b, (_, r) in zip(widget_breakdowns, population[:12])
+        ),
+        statistics.mean(b.compute / b.total for b in widget_breakdowns),
+        statistics.mean(b.memory_share() for b in widget_breakdowns),
+        statistics.mean(b.static / b.total for b in widget_breakdowns),
+    ])
+
+    rx = RandomXLike(program_size=128, loop_trips=32)
+    _, rx_counters = rx.run(b"\x05" * 32)
+    rx_breakdown = model.energy_of(rx_counters)
+    rows.append([
+        "randomx-like",
+        rx_breakdown.per_instruction(rx_counters.retired),
+        rx_breakdown.compute / rx_breakdown.total,
+        rx_breakdown.memory_share(),
+        rx_breakdown.static / rx_breakdown.total,
+    ])
+
+    table = render_table(
+        ["workload / PoW", "energy/instr", "compute share", "memory share",
+         "static share"],
+        rows,
+        title="On-GPP energy composition (relative pJ; §II energy argument)",
+    )
+    save_result("energy", table)
+
+    by_name = {row[0]: row for row in rows}
+    # The bandwidth-bound workload burns the least share on compute...
+    assert by_name["graph"][2] < by_name["leela"][2]
+    # ...and costs the most energy per instruction.
+    assert by_name["graph"][1] > 2 * by_name["leela"][1]
+
+    counters = population[0][1].counters
+    benchmark(lambda: model.energy_of(counters))

@@ -1,0 +1,69 @@
+"""E1 — Figure 2: IPC widget comparison.
+
+Paper: 1000 widgets generated from the Leela profile on the Ivy Bridge
+Xeon; widget IPC follows "a roughly Gaussian distribution with a mean
+slightly lower than those of the original Leela workload."
+
+This bench regenerates the figure: the widget-IPC histogram with the
+reference workload's IPC marked, plus the Gaussian fit.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.stats import ascii_histogram, gaussian_fit, summarize
+
+from benchmarks.conftest import bench_seed, save_result
+
+
+def test_fig2_ipc_distribution(benchmark, population, generator, machine, profile):
+    ipcs = [result.counters.ipc for _, result in population]
+    summary = summarize(ipcs)
+    mean, std = gaussian_fit(ipcs)
+
+    lines = [
+        f"widgets: {len(ipcs)}  (paper: 1000)",
+        f"reference (Leela) IPC: {profile.ipc:.3f}",
+        f"widget IPC: mean={mean:.3f} std={std:.3f}  ({summary})",
+        f"mean shift vs reference: {100 * (mean / profile.ipc - 1):+.1f}% "
+        "(paper: slightly below reference)",
+        "",
+        ascii_histogram(ipcs, bins=12, marker=profile.ipc, marker_label="Leela"),
+    ]
+    save_result("fig2_ipc", "\n".join(lines))
+    from repro.analysis.svg import save_histogram
+
+    from benchmarks.conftest import RESULTS_DIR
+
+    save_histogram(
+        RESULTS_DIR / "fig2_ipc.svg",
+        ipcs,
+        bins=12,
+        title="Figure 2 reproduction: IPC widget comparison",
+        x_label="widget IPC",
+        marker=profile.ipc,
+        marker_label="Leela",
+    )
+
+    # Shape assertions — the figure's qualitative content.
+    assert mean < 1.25 * profile.ipc
+    assert mean > 0.6 * profile.ipc
+    assert std > 0.05  # a distribution, not a point mass
+
+    # Timed unit: one full widget evaluation (generate + compile + execute).
+    def one_widget():
+        widget = generator.widget(bench_seed("fig2-timing"))
+        return widget.execute(machine).counters.ipc
+
+    benchmark.pedantic(one_widget, rounds=3, iterations=1)
+
+
+def test_fig2_distribution_is_unimodal(benchmark, population, profile):
+    """Gaussian-ish shape check: the central half of the distribution is
+    denser than the tails."""
+    ipcs = sorted(result.counters.ipc for _, result in population)
+    n = len(ipcs)
+    central = [x for x in ipcs if abs(x - statistics.median(ipcs)) < statistics.stdev(ipcs)]
+    assert len(central) / n > 0.5
+    benchmark(lambda: statistics.median(ipcs))

@@ -1,0 +1,64 @@
+"""E2 — Figure 3: branch-prediction widget comparison.
+
+Paper: the same 1000-widget population's branch behaviour, compared with
+the Leela workload — the distribution sits near the reference workload's
+branch-prediction accuracy, further solidifying the IPC result.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_histogram, gaussian_fit, summarize
+
+from benchmarks.conftest import save_result
+
+
+def test_fig3_branch_prediction_distribution(benchmark, population, profile):
+    accuracies = [result.counters.branch_accuracy for _, result in population]
+    taken = [result.counters.taken_rate for _, result in population]
+    mean, std = gaussian_fit(accuracies)
+
+    lines = [
+        f"widgets: {len(accuracies)}  (paper: 1000)",
+        f"reference (Leela) branch accuracy: {profile.branch_accuracy:.3f}, "
+        f"taken rate: {profile.branch_taken_rate:.3f}",
+        f"widget accuracy: mean={mean:.3f} std={std:.3f}  ({summarize(accuracies)})",
+        f"widget taken rate: {summarize(taken)}",
+        "",
+        ascii_histogram(
+            accuracies, bins=12, marker=profile.branch_accuracy, marker_label="Leela"
+        ),
+    ]
+    save_result("fig3_branch", "\n".join(lines))
+    from repro.analysis.svg import save_histogram
+
+    from benchmarks.conftest import RESULTS_DIR
+
+    save_histogram(
+        RESULTS_DIR / "fig3_branch.svg",
+        accuracies,
+        bins=12,
+        title="Figure 3 reproduction: branch-prediction widget comparison",
+        x_label="widget branch-prediction accuracy",
+        marker=profile.branch_accuracy,
+        marker_label="Leela",
+    )
+
+    # Shape: widget branch behaviour clusters near the reference.
+    assert abs(mean - profile.branch_accuracy) < 0.06
+    assert abs(sum(taken) / len(taken) - profile.branch_taken_rate) < 0.08
+
+    # Timed unit: extracting branch statistics from a stored population.
+    def stats_pass():
+        return gaussian_fit([r.counters.branch_accuracy for _, r in population])
+
+    benchmark(stats_pass)
+
+
+def test_fig3_mpki_comparable(benchmark, population, profile):
+    """Secondary check: misprediction density (MPKI) in a plausible band
+    around the reference workload's."""
+    ref_mpki = 1000.0 * (1 - profile.branch_accuracy) * profile.instruction_mix["branch"]
+    widget_mpki = [result.counters.branch_mpki for _, result in population]
+    mean = sum(widget_mpki) / len(widget_mpki)
+    assert 0.25 * ref_mpki < mean < 2.5 * ref_mpki
+    benchmark(lambda: sum(r.counters.branch_mpki for _, r in population))

@@ -1,0 +1,68 @@
+"""E6 — Theorem 1 and hash-gate properties.
+
+The collision-resistance proof is machine-checked in the unit suite
+(tests/test_reduction.py); this bench measures the statistical hash
+quality of the composed H — avalanche effect and output bit balance —
+plus the cost of one evaluation (generation + compilation + execution +
+two gates), the figure that sets the network hash rate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.hashcore import HashCore
+
+from benchmarks.conftest import save_result
+
+
+def _hamming(a: bytes, b: bytes) -> int:
+    return bin(int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).count("1")
+
+
+def test_avalanche_and_balance(benchmark, profile, params):
+    hashcore = HashCore(profile=profile, params=params)
+
+    # Avalanche: flip one input bit, expect ~128 of 256 output bits to flip.
+    distances = []
+    for i in range(12):
+        base = f"avalanche-{i}".encode()
+        flipped = bytearray(base)
+        flipped[0] ^= 1 << (i % 8)
+        distances.append(_hamming(hashcore.hash(base), hashcore.hash(bytes(flipped))))
+    mean_distance = sum(distances) / len(distances)
+
+    # Bit balance over a digest population.
+    digests = [hashcore.hash(f"balance-{i}".encode()) for i in range(16)]
+    ones = sum(bin(int.from_bytes(d, "big")).count("1") for d in digests)
+    balance = ones / (256 * len(digests))
+
+    table = render_table(
+        ["metric", "measured", "ideal"],
+        [
+            ["avalanche (bits flipped of 256)", mean_distance, 128],
+            ["min avalanche", min(distances), ">= ~96"],
+            ["output bit balance", balance, 0.5],
+        ],
+        title="Hash quality of H(x) = G(s || W(s))",
+    )
+    save_result("hash_quality", table)
+
+    assert 100 <= mean_distance <= 156
+    assert min(distances) >= 90
+    assert 0.45 < balance < 0.55
+
+    # Timed unit: one full H evaluation (the miner's cost per attempt).
+    counter = iter(range(10**9))
+    benchmark.pedantic(
+        lambda: hashcore.hash(f"timing-{next(counter)}".encode()),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_verification_equals_recomputation(benchmark, profile, params):
+    hashcore = HashCore(profile=profile, params=params)
+    digest = hashcore.hash(b"verify-me")
+    assert hashcore.verify(b"verify-me", digest)
+    assert not hashcore.verify(b"verify-me!", digest)
+    benchmark.pedantic(lambda: hashcore.verify(b"verify-me", digest), rounds=2, iterations=1)

@@ -1,0 +1,65 @@
+"""E12 (extension) — §IV-A irreducibility under a compiler attack.
+
+An ASIC designer's cheapest attack on generated code is classical
+optimization: build the CFG, run liveness, delete unobservable work.
+This bench runs that attack on the widget population under two
+observation models and on a strawman generator without HashCore's output
+discipline:
+
+* **snapshots** (HashCore's actual output): registers sampled at dynamic
+  instruction counts → nothing is removable;
+* **final state only** (weaker than HashCore): a few percent of
+  overwritten-before-read stragglers die;
+* **strawman** (same widgets, but only one register observed): large
+  fractions die — what §IV-A's requirement prevents.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+from repro.isa.dataflow import ALL_REGS, eliminate_dead_code
+
+from benchmarks.conftest import save_result
+
+_ONE_REG = frozenset({("r", 6)})
+
+
+def test_dce_attack_on_widgets(benchmark, population):
+    sample = [widget for widget, _ in population[:12]]
+
+    snapshot_removed = [
+        eliminate_dead_code(w.program, observe_everywhere=True).removed_fraction
+        for w in sample
+    ]
+    final_removed = [
+        eliminate_dead_code(w.program, live_out=frozenset(ALL_REGS)).removed_fraction
+        for w in sample
+    ]
+    strawman_removed = [
+        eliminate_dead_code(w.program, live_out=_ONE_REG).removed_fraction
+        for w in sample
+    ]
+
+    rows = [
+        ["snapshots (HashCore output)", statistics.mean(snapshot_removed),
+         max(snapshot_removed)],
+        ["final state only", statistics.mean(final_removed), max(final_removed)],
+        ["single register observed", statistics.mean(strawman_removed),
+         max(strawman_removed)],
+    ]
+    table = render_table(
+        ["observation model", "mean removable", "max removable"],
+        rows,
+        title="Dead-code-elimination attack on widgets "
+        "(fraction of instructions provably skippable)",
+    )
+    save_result("irreducibility", table)
+
+    assert max(snapshot_removed) == 0.0
+    assert statistics.mean(final_removed) < 0.12
+    assert statistics.mean(strawman_removed) > 2 * statistics.mean(final_removed)
+
+    widget = sample[0]
+    benchmark(lambda: eliminate_dead_code(widget.program, live_out=frozenset(ALL_REGS)))

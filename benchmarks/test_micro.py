@@ -1,0 +1,102 @@
+"""Microbenchmarks: per-component costs.
+
+Not a paper artifact; these time the substrate pieces so regressions in
+the simulator or generator are visible independently of the experiment
+benches, and they record the hash rates of every PoW function on this
+host (the denominators of any mining-economics discussion).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.baselines.equihash_like import EquihashLike
+from repro.baselines.randomx_like import RandomXLike
+from repro.baselines.scrypt_like import ScryptLike
+from repro.baselines.sha256d import Sha256d
+from repro.isa.builder import ProgramBuilder
+from repro.machine.cpu import Machine
+from repro.widgetgen.codegen import compile_spec
+
+from benchmarks.conftest import bench_seed
+
+
+def test_interpreter_throughput(benchmark, machine):
+    """Simulated instructions per second on a dense integer loop."""
+    b = ProgramBuilder("throughput")
+    with b.loop(1, 10_000):
+        b.addi(2, 2, 1)
+        b.xor(3, 3, 2)
+        b.mul(4, 2, 3)
+        b.load(5, 2, 0)
+        b.add(6, 6, 5)
+    program = b.build()
+    result = benchmark(lambda: machine.run(program))
+    assert result.counters.retired > 60_000
+
+
+def test_widget_generation_only(benchmark, generator):
+    """Spec generation (no compile, no execute)."""
+    counter = iter(range(10**9))
+    benchmark(lambda: generator.spec(bench_seed(f"gen-{next(counter)}")))
+
+
+def test_widget_compile_only(benchmark, generator):
+    spec = generator.spec(bench_seed("compile"))
+    benchmark(lambda: compile_spec(spec))
+
+
+def test_widget_execute_only(benchmark, generator, machine):
+    widget = generator.widget(bench_seed("exec"))
+    benchmark.pedantic(lambda: widget.execute(machine), rounds=3, iterations=1)
+
+
+def test_sha256d_rate(benchmark):
+    fn = Sha256d()
+    benchmark(lambda: fn.hash(b"header" * 8))
+
+
+def test_scrypt_like_rate(benchmark):
+    fn = ScryptLike(n=256)
+    benchmark.pedantic(lambda: fn.hash(b"header" * 8), rounds=3, iterations=1)
+
+
+def test_equihash_like_rate(benchmark):
+    fn = EquihashLike(n=48, k=3)
+    benchmark.pedantic(lambda: fn.hash(b"header" * 8), rounds=2, iterations=1)
+
+
+def test_randomx_like_rate(benchmark):
+    fn = RandomXLike(program_size=128, loop_trips=32)
+    benchmark.pedantic(lambda: fn.hash(b"header" * 8), rounds=3, iterations=1)
+
+
+def test_memory_fill_rate(benchmark, machine):
+    memory = machine.new_memory()
+    benchmark(lambda: memory.fill_random(1, 0, 1 << 16))
+
+
+def test_hash_gate_rate(benchmark):
+    data = hashlib.sha256(b"x").digest() * 1000  # 32 KB — a widget output
+    from repro.core.hash_gate import hash_gate
+
+    benchmark(lambda: hash_gate(data))
+
+
+def test_full_scale_widget(benchmark, profile, machine):
+    """One paper-scale widget (4M dynamic instructions): demonstrates that
+    GeneratorParams.full_scale() works end-to-end; the multi-second runtime
+    is the interpreter tax the scaled defaults avoid."""
+    from repro.widgetgen.generator import WidgetGenerator
+    from repro.widgetgen.params import GeneratorParams
+
+    generator = WidgetGenerator(profile, GeneratorParams.full_scale())
+    widget = generator.widget(bench_seed("full-scale"))
+
+    def run_once():
+        result = widget.execute(machine)
+        assert 1_000_000 < result.counters.retired < 10_000_000
+        assert result.output_size > 10_000
+        return result
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

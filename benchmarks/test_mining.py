@@ -1,0 +1,97 @@
+"""E7 — PoW end-to-end: mining, retargeting, block times (§I, §III).
+
+Two parts:
+
+* *real* mining: a short HashCore chain at tiny difficulty, every block
+  fully validated (each attempt generates + runs a widget);
+* *statistical* network: long-horizon difficulty dynamics and miner
+  revenue shares under the Poisson mining model, exercising the actual
+  retarget consensus rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.miner import mine_block
+from repro.blockchain.network import simulate_network
+from repro.core.hashcore import HashCore
+from repro.core.pow import difficulty_to_target, target_to_compact
+from repro.widgetgen.params import GeneratorParams
+
+from benchmarks.conftest import save_result
+
+
+def test_hashcore_chain_real_mining(benchmark, profile):
+    params = GeneratorParams(target_instructions=4000, snapshot_interval=250)
+    hashcore = HashCore(profile=profile, params=params)
+    bits = target_to_compact(difficulty_to_target(4.0))
+    chain = Blockchain(hashcore, genesis_bits=bits,
+                       schedule=RetargetSchedule(interval=1000))
+
+    attempts_per_block = []
+    for height in range(1, 4):
+        block = Block.build(
+            prev_hash=chain.tip_id,
+            transactions=[f"coinbase-{height}".encode(), b"payment"],
+            timestamp=30 * height,
+            bits=chain.expected_bits(chain.tip_id),
+        )
+        mined = mine_block(block, hashcore, max_attempts=400)
+        chain.add_block(mined.block)
+        attempts_per_block.append(mined.attempts)
+
+    table = render_table(
+        ["height", "attempts (difficulty 4 => E[attempts]=4)"],
+        [[i + 1, a] for i, a in enumerate(attempts_per_block)],
+        title="Real HashCore mining (every attempt runs a widget)",
+    )
+    save_result("mining_real", table)
+    assert chain.height() == 3
+
+    def one_attempt():
+        return hashcore.hash(chain.tip_id)
+
+    benchmark.pedantic(one_attempt, rounds=3, iterations=1)
+
+
+def test_network_difficulty_dynamics(benchmark):
+    schedule = RetargetSchedule(block_time=30.0, interval=16)
+
+    def hashrates(now, height):
+        # Hashpower quadruples mid-run (new miners join, §III).
+        return [60.0, 30.0, 10.0] if height <= 600 else [240.0, 120.0, 40.0]
+
+    result = simulate_network(
+        hashrates, 1200, schedule, initial_difficulty=3000.0, seed=42
+    )
+    early_diff = sum(result.difficulties[400:600]) / 200
+    late_diff = sum(result.difficulties[-200:]) / 200
+    steady_times = result.block_times[-200:]
+    mean_time = sum(steady_times) / len(steady_times)
+    shares = result.miner_shares(3)
+
+    table = render_table(
+        ["metric", "measured", "expected"],
+        [
+            ["steady block time (s)", mean_time, schedule.block_time],
+            ["difficulty before hashrate jump", early_diff, 3000],
+            ["difficulty after 4x hashrate", late_diff, 12000],
+            ["miner shares", ", ".join(f"{s:.2f}" for s in shares), "0.60, 0.30, 0.10"],
+        ],
+        title="Statistical mining network (Poisson model + real retarget rule)",
+    )
+    save_result("mining_network", table)
+
+    assert mean_time == pytest.approx(schedule.block_time, rel=0.25)
+    assert late_diff / early_diff == pytest.approx(4.0, rel=0.4)
+    assert shares[0] == pytest.approx(0.6, abs=0.06)
+
+    benchmark(
+        lambda: simulate_network([100.0], 200, schedule, initial_difficulty=3000.0)
+    )
+

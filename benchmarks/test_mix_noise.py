@@ -1,0 +1,61 @@
+"""E5 — §V-B: positive-only mix noise.
+
+Paper: "HashCore only adds positive noise to the instruction type counts.
+This increase in instructions leads to proportionally less branch
+instructions" — the measured widget mix must sit at-or-above the profile
+on the noised compute classes and at-or-below on branches.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+
+from benchmarks.conftest import save_result
+
+_NOISED_KEYS = ("int_alu", "int_mul", "fp_alu", "load", "store")
+
+
+def test_mix_noise_direction(benchmark, population, profile):
+    mean_mix = {}
+    for key in list(_NOISED_KEYS) + ["branch", "vector"]:
+        mean_mix[key] = statistics.mean(
+            result.counters.mix_fractions()[key] for _, result in population
+        )
+
+    rows = []
+    for key in list(_NOISED_KEYS) + ["branch"]:
+        ref = profile.instruction_mix[key]
+        measured = mean_mix[key]
+        rows.append([key, ref, measured, f"{100*(measured/ref-1):+.1f}%" if ref else "n/a"])
+    table = render_table(
+        ["class", "Leela profile", "widget mean", "shift"],
+        rows,
+        title="Instruction-mix noise (positive on compute classes, "
+        "negative on branch share)",
+    )
+    save_result("mix_noise", table)
+
+    # Branch share strictly below the profile's (the paper's observation).
+    assert mean_mix["branch"] < profile.instruction_mix["branch"]
+    # Compute classes within a sensible band of the (noised) profile.
+    for key in ("int_alu", "load", "store"):
+        assert abs(mean_mix[key] - profile.instruction_mix[key]) < 0.12, key
+
+    benchmark(
+        lambda: statistics.mean(
+            r.counters.mix_fractions()["branch"] for _, r in population
+        )
+    )
+
+
+def test_noise_is_seed_dependent(benchmark, population):
+    """Different seeds produce different mixes (the randomization that
+    defeats fixed-code ASICs, §IV-A)."""
+    mixes = {
+        tuple(round(v, 3) for v in result.counters.mix_fractions().values())
+        for _, result in population
+    }
+    assert len(mixes) > len(population) * 0.8
+    benchmark(lambda: len(mixes))

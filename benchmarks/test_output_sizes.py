@@ -1,0 +1,52 @@
+"""E4 — §V: widget output sizes.
+
+Paper: "These widgets produced outputs ranging in size from 20 kilobytes
+to 38 kilobytes with a large amount of variation in register contents
+during execution … a series of snapshots of the computer's register
+contents captured every few thousand instructions."
+
+At the default 60 k-instruction scale with a 500-instruction snapshot
+cadence, the same proportions land outputs in the same band.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import ascii_histogram, summarize
+
+from benchmarks.conftest import save_result
+
+
+def test_output_size_band(benchmark, population):
+    sizes = [result.output_size for _, result in population]
+    summary = summarize(sizes)
+    kb = [s / 1024 for s in sizes]
+
+    lines = [
+        f"widgets: {len(sizes)}",
+        f"output sizes: {min(kb):.1f} KB .. {max(kb):.1f} KB "
+        f"(paper: 20 KB .. 38 KB)",
+        f"spread ratio max/min: {max(sizes)/min(sizes):.2f} (paper: ~1.9)",
+        str(summary),
+        "",
+        ascii_histogram(kb, bins=10),
+    ]
+    save_result("output_sizes", "\n".join(lines))
+
+    assert 14_000 <= min(sizes)
+    assert max(sizes) <= 48_000
+    assert 1.2 < max(sizes) / min(sizes) < 2.6
+
+    benchmark(lambda: summarize([r.output_size for _, r in population]))
+
+
+def test_register_contents_vary(benchmark, population):
+    """'a large amount of variation in register contents during execution':
+    consecutive snapshots differ, and snapshots differ across widgets."""
+    snap = 256  # bytes per snapshot
+    for _, result in population[:10]:
+        first = result.output[:snap]
+        second = result.output[snap : 2 * snap]
+        assert first != second
+    firsts = {result.output[:snap] for _, result in population}
+    assert len(firsts) == len(population)
+    benchmark(lambda: len({r.output[:256] for _, r in population}))

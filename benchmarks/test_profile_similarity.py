@@ -1,0 +1,87 @@
+"""E14 (extension) — full-profile similarity: widgets vs target.
+
+Figures 2/3 compare IPC and branch prediction; PerfProx's actual contract
+is broader — the proxy should match the original across *all* the profile
+dimensions.  This bench profiles a widget sample with the same profiler
+used on the workloads and compares every dimension against the Leela
+target: instruction mix, taken rate, dependency-distance histogram,
+working set, L1 hit rate.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.report import render_table
+from repro.profiling.profiler import profile_program
+
+from benchmarks.conftest import save_result
+
+
+def _hist_l1(a, b) -> float:
+    """L1 distance between two normalised histograms (0 = identical,
+    2 = disjoint)."""
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+def test_widget_profiles_match_target(benchmark, population, machine, profile):
+    sample = population[:10]
+    widget_profiles = []
+    for widget, _ in sample:
+        memory = machine.new_memory()
+        for directive in widget.spec.plan.directives():
+            directive.apply(memory)
+        widget_profiles.append(
+            profile_program(
+                widget.program,
+                machine,
+                memory,
+                name=widget.name,
+                max_instructions=int(widget.spec.meta["fuse"]),
+            )
+        )
+
+    def mean(metric):
+        return statistics.mean(metric(p) for p in widget_profiles)
+
+    rows = [
+        ["IPC", profile.ipc, mean(lambda p: p.ipc)],
+        ["branch accuracy", profile.branch_accuracy,
+         mean(lambda p: p.branch_accuracy)],
+        ["taken rate", profile.branch_taken_rate,
+         mean(lambda p: p.branch_taken_rate)],
+        ["int_alu share", profile.instruction_mix["int_alu"],
+         mean(lambda p: p.instruction_mix["int_alu"])],
+        ["load share", profile.instruction_mix["load"],
+         mean(lambda p: p.instruction_mix["load"])],
+        ["branch share", profile.instruction_mix["branch"],
+         mean(lambda p: p.instruction_mix["branch"])],
+        ["L1 hit rate", profile.l1_hit_rate, mean(lambda p: p.l1_hit_rate)],
+        ["dep-hist L1 distance", 0.0,
+         mean(lambda p: _hist_l1(p.dep_distance_hist, profile.dep_distance_hist))],
+        ["working set (KB)", profile.working_set_bytes / 1024,
+         mean(lambda p: p.working_set_bytes / 1024)],
+    ]
+    table = render_table(
+        ["profile dimension", "Leela target", "widget mean"],
+        rows,
+        title="Full-profile similarity (PerfProx contract, beyond Figs. 2/3)",
+    )
+    save_result("profile_similarity", table)
+
+    values = {row[0]: row for row in rows}
+    assert abs(values["int_alu share"][2] - profile.instruction_mix["int_alu"]) < 0.1
+    assert abs(values["taken rate"][2] - profile.branch_taken_rate) < 0.08
+    assert abs(values["L1 hit rate"][2] - profile.l1_hit_rate) < 0.08
+    assert values["dep-hist L1 distance"][2] < 0.8  # same general shape
+
+    widget, _ = sample[0]
+    memory = machine.new_memory()
+    for directive in widget.spec.plan.directives():
+        directive.apply(memory)
+    benchmark.pedantic(
+        lambda: profile_program(widget.program, machine, memory,
+                                max_instructions=int(widget.spec.meta["fuse"])),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""ASIC-advantage comparison across PoW functions.
+
+Quantifies the paper's motivation (§II, §III): how much better than a GPP
+a purpose-built ASIC can be for each PoW function, under the best-ASIC
+model (strip unused resources, resize kept ones, harden fixed dataflows).
+
+Utilization vectors come from two sources: documented profiles for the
+classical functions (SHA-256d, scrypt, Equihash), and *measured* simulator
+counters for the VM-based ones (RandomX-like and HashCore itself).
+
+Run:  python examples/asic_advantage.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro import (
+    AsicModel,
+    EquihashLike,
+    HashCore,
+    PowTraits,
+    RandomXLike,
+    ScryptLike,
+    Sha256d,
+    utilization_from_counters,
+)
+from repro.analysis.report import render_table
+from repro.core.seed import HashSeed
+from repro.widgetgen.params import GeneratorParams
+
+
+def mean_utilization(counter_list, config):
+    totals: dict[str, float] = {}
+    for counters in counter_list:
+        for key, value in utilization_from_counters(counters, config).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return {k: v / len(counter_list) for k, v in totals.items()}
+
+
+def main() -> None:
+    model = AsicModel()
+
+    print("measuring HashCore widget utilization (8 widgets) ...")
+    hashcore = HashCore(params=GeneratorParams(target_instructions=30_000,
+                                               snapshot_interval=500))
+    widget_counters = []
+    for i in range(8):
+        seed = HashSeed(hashlib.sha256(f"asic-{i}".encode()).digest())
+        widget = hashcore.widget_for(seed)
+        widget_counters.append(widget.execute(hashcore.machine).counters)
+    hashcore_u = mean_utilization(widget_counters, hashcore.machine.config)
+
+    print("measuring RandomX-like utilization (3 programs) ...")
+    rx = RandomXLike(program_size=128, loop_trips=32)
+    rx_counters = [rx.run(bytes([i]) * 32)[1] for i in range(3)]
+    rx_u = mean_utilization(rx_counters, rx.machine.config)
+
+    entries = [
+        ("sha256d (Bitcoin)", Sha256d.resource_profile(), PowTraits(True)),
+        ("scrypt-like (memory-hard)", ScryptLike(n=1024).resource_profile(),
+         PowTraits(True)),
+        ("equihash-like (birthday)", EquihashLike().resource_profile(),
+         PowTraits(True)),
+        ("randomx-like (uniform VM)", rx_u, PowTraits(False)),
+        ("hashcore (inverted bench)", hashcore_u,
+         PowTraits(False, requires_generation=True)),
+    ]
+    rows = []
+    for name, utilization, traits in entries:
+        adv = model.advantage(name, utilization, traits)
+        rows.append([name, adv.area_advantage, adv.energy_advantage,
+                     f"{adv.asic_area:.0f}/129"])
+
+    print()
+    print(render_table(
+        ["PoW function", "hashrate/area advantage", "hashrate/watt advantage",
+         "ASIC die (rel.)"],
+        rows,
+        title="Best-ASIC advantage over the GPP (1.0 = the GPP *is* the ASIC)",
+    ))
+    print(
+        "\nReading: a Bitcoin ASIC beats a CPU by ~2 orders of magnitude;\n"
+        "for HashCore the hypothetical best ASIC is essentially the GPP\n"
+        "itself — the paper's design goal (§I: 'a PoW function for which an\n"
+        "existing general purpose processor is already an optimized ASIC')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+`pip install -e .` requires the `wheel` package to build PEP 517 editable
+wheels; on offline machines without it, `python setup.py develop` installs
+the same editable package using only setuptools.
+"""
+from setuptools import setup
+
+setup()

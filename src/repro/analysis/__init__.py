@@ -1,0 +1,45 @@
+"""Analysis utilities: statistics, figure/table rendering, and the
+machine-checked Theorem 1 reduction."""
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    ascii_histogram,
+    gaussian_fit,
+    ks_distance,
+    summarize,
+)
+from repro.analysis.reduction import (
+    CollisionReduction,
+    find_gate_collision_from_h_collision,
+)
+from repro.analysis.hashrate import (
+    HashrateEstimate,
+    estimate_hashrate,
+    rolling_hashrate,
+)
+from repro.analysis.market import (
+    CentralizationResult,
+    centralization_study,
+    gini,
+)
+from repro.analysis.report import render_table
+from repro.analysis.svg import histogram_svg, save_histogram
+
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "ascii_histogram",
+    "gaussian_fit",
+    "ks_distance",
+    "CollisionReduction",
+    "find_gate_collision_from_h_collision",
+    "render_table",
+    "HashrateEstimate",
+    "estimate_hashrate",
+    "rolling_hashrate",
+    "CentralizationResult",
+    "centralization_study",
+    "gini",
+    "histogram_svg",
+    "save_histogram",
+]

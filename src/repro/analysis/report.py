@@ -1,0 +1,46 @@
+"""Plain-text table rendering shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Cells are stringified; floats get 4 significant digits.  Used by every
+    benchmark that regenerates one of the paper's tables/figures so their
+    output is uniform and diffable across runs.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Distribution statistics for the widget-population experiments.
+
+Figures 2 and 3 of the paper are histograms of widget metrics against a
+reference workload's value; these helpers summarise, fit, compare, and
+render such distributions without pulling in a plotting stack (benches
+print ASCII histograms next to the numbers they report).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.3g} "
+            f"min={self.minimum:.4g} p25={self.p25:.4g} med={self.median:.4g} "
+            f"p75={self.p75:.4g} max={self.maximum:.4g}"
+        )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample."""
+    if not ordered:
+        raise ReproError("empty sample")
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    frac = position - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def summarize(sample: Sequence[float]) -> DistributionSummary:
+    """Summary statistics of a non-empty sample."""
+    if not sample:
+        raise ReproError("empty sample")
+    ordered = sorted(float(x) for x in sample)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / (n - 1) if n > 1 else 0.0
+    return DistributionSummary(
+        n=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        p25=_percentile(ordered, 0.25),
+        median=_percentile(ordered, 0.5),
+        p75=_percentile(ordered, 0.75),
+        maximum=ordered[-1],
+    )
+
+
+def gaussian_fit(sample: Sequence[float]) -> tuple[float, float]:
+    """Maximum-likelihood (mean, std) of a Gaussian fit."""
+    if len(sample) < 2:
+        raise ReproError("need at least 2 points to fit")
+    mean = sum(sample) / len(sample)
+    var = sum((x - mean) ** 2 for x in sample) / len(sample)
+    return mean, math.sqrt(var)
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max CDF distance)."""
+    if not a or not b:
+        raise ReproError("empty sample")
+    xs = sorted(float(v) for v in a)
+    ys = sorted(float(v) for v in b)
+    i = j = 0
+    d = 0.0
+    while i < len(xs) and j < len(ys):
+        # Advance past ties on both sides together, otherwise identical
+        # samples would show a spurious mid-walk distance.
+        value = min(xs[i], ys[j])
+        while i < len(xs) and xs[i] == value:
+            i += 1
+        while j < len(ys) and ys[j] == value:
+            j += 1
+        d = max(d, abs(i / len(xs) - j / len(ys)))
+    return d
+
+
+def ascii_histogram(
+    sample: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    marker: str | None = None,
+    marker_label: str = "reference",
+) -> str:
+    """Render a histogram as text; ``marker`` draws a reference value's bin
+    (the workload line in Figures 2/3)."""
+    if not sample:
+        raise ReproError("empty sample")
+    lo = min(sample)
+    hi = max(sample)
+    if marker is not None:
+        lo = min(lo, marker)
+        hi = max(hi, marker)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for x in sample:
+        index = min(bins - 1, int((x - lo) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    marker_bin = (
+        min(bins - 1, int((marker - lo) / span * bins)) if marker is not None else -1
+    )
+    lines = []
+    for index, count in enumerate(counts):
+        left = lo + span * index / bins
+        bar = "#" * round(width * count / peak)
+        suffix = f"  <- {marker_label}" if index == marker_bin else ""
+        lines.append(f"{left:9.3f} | {bar:<{width}} {count:4d}{suffix}")
+    return "\n".join(lines)
+
+
+def chi_square_uniform(samples: Sequence[int], bins: int, upper: int) -> float:
+    """Chi-square statistic of ``samples`` (integers in ``[0, upper)``)
+    against the uniform distribution over ``bins`` equal buckets.
+
+    Returns the statistic; compare against the chi-square quantile with
+    ``bins - 1`` degrees of freedom (for the hash-quality experiment,
+    values near ``bins`` indicate uniformity; several times ``bins``
+    indicates bias).
+    """
+    if not samples:
+        raise ReproError("empty sample")
+    if bins < 2 or upper < bins:
+        raise ReproError("need bins >= 2 and upper >= bins")
+    counts = [0] * bins
+    for value in samples:
+        if not 0 <= value < upper:
+            raise ReproError(f"sample {value} outside [0, {upper})")
+        counts[value * bins // upper] += 1
+    expected = len(samples) / bins
+    return sum((c - expected) ** 2 / expected for c in counts)

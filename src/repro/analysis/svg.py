@@ -1,0 +1,132 @@
+"""Dependency-free SVG histogram rendering.
+
+The benches print ASCII histograms for terminals; this module renders the
+same data as standalone SVG files so Figures 2 and 3 regenerate as actual
+graphics (``benchmarks/results/fig2_ipc.svg`` etc.) without a plotting
+stack.  Output is deliberately simple: bars, axes, tick labels, and the
+reference-workload marker line the paper's figures carry.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 60
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 50
+_MARGIN_BOTTOM = 60
+
+
+def histogram_svg(
+    sample: Sequence[float],
+    bins: int = 12,
+    *,
+    title: str = "",
+    x_label: str = "",
+    marker: float | None = None,
+    marker_label: str = "reference",
+) -> str:
+    """Render a histogram of ``sample`` as an SVG document string."""
+    if not sample:
+        raise ReproError("empty sample")
+    if bins < 1:
+        raise ReproError("bins must be >= 1")
+    lo = min(sample)
+    hi = max(sample)
+    if marker is not None:
+        lo = min(lo, marker)
+        hi = max(hi, marker)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for value in sample:
+        index = min(bins - 1, int((value - lo) / span * bins))
+        counts[index] += 1
+    peak = max(counts)
+
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    bar_w = plot_w / bins
+
+    def x_of(value: float) -> float:
+        return _MARGIN_LEFT + (value - lo) / span * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH/2}" y="28" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="16">{escape(title)}</text>',
+    ]
+    # Bars.
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        height = plot_h * count / peak
+        x = _MARGIN_LEFT + index * bar_w
+        y = _MARGIN_TOP + plot_h - height
+        parts.append(
+            f'<rect class="bar" x="{x:.1f}" y="{y:.1f}" '
+            f'width="{bar_w - 2:.1f}" height="{height:.1f}" '
+            'fill="#4878a8" stroke="none"/>'
+        )
+    # Axes.
+    axis_y = _MARGIN_TOP + plot_h
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_y}" x2="{_WIDTH - _MARGIN_RIGHT}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    # X ticks (5 of them) and labels.
+    for tick in range(6):
+        value = lo + span * tick / 5
+        x = x_of(value)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" y2="{axis_y + 5}" '
+            'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 20}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11">{value:.2f}</text>'
+        )
+    # Y ticks: 0 and peak.
+    parts.append(
+        f'<text x="{_MARGIN_LEFT - 8}" y="{axis_y + 4}" text-anchor="end" '
+        'font-family="sans-serif" font-size="11">0</text>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT - 8}" y="{_MARGIN_TOP + 4}" text-anchor="end" '
+        f'font-family="sans-serif" font-size="11">{peak}</text>'
+    )
+    parts.append(
+        f'<text x="{_WIDTH/2}" y="{_HEIGHT - 15}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13">{escape(x_label)}</text>'
+    )
+    # Reference marker.
+    if marker is not None:
+        x = x_of(marker)
+        parts.append(
+            f'<line class="marker" x1="{x:.1f}" y1="{_MARGIN_TOP}" '
+            f'x2="{x:.1f}" y2="{axis_y}" stroke="#c03028" '
+            'stroke-width="2" stroke-dasharray="6,3"/>'
+        )
+        parts.append(
+            f'<text x="{x + 5:.1f}" y="{_MARGIN_TOP + 14}" '
+            f'font-family="sans-serif" font-size="12" fill="#c03028">'
+            f'{escape(marker_label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_histogram(path: str | pathlib.Path, sample: Sequence[float], **kwargs) -> None:
+    """Render and write a histogram SVG to ``path``."""
+    pathlib.Path(path).write_text(histogram_svg(sample, **kwargs) + "\n")

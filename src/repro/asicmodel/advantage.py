@@ -1,0 +1,164 @@
+"""The best-ASIC construction and its advantage factors.
+
+Model (documented, deliberately simple):
+
+* The GPP runs the PoW at some throughput using every resource at
+  utilization ``u_r``; hashrate-per-area is ``1 / total_gpp_area``.
+* A rational ASIC designer, for the same throughput per pipeline:
+
+  - **drops** resources with negligible utilization (``u_r < 0.02``) —
+    unless the PoW executes *random code*, which forces programmability
+    resources (frontend, OoO window; the predictor only if the code
+    branches) to stay at full size (§IV-A Code Randomization is exactly
+    the countermeasure that triggers this);
+  - **resizes** kept resources to demand (area × max(u_r, floor)); the
+    floor is high for random-code PoW (the next program may stress the
+    unit fully) and low for fixed functions;
+  - **hardens** fixed dataflows (area × harden_factor): only possible
+    when the function is fixed — random code must keep programmable
+    units.
+
+* Advantage factors are area and power ratios GPP/ASIC: hashrate-per-dollar
+  and hashrate-per-watt multipliers available to custom hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asicmodel.resources import GPP_RESOURCES, total_area, total_power
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig
+from repro.machine.perf_counters import PerfCounters
+
+_DROP_THRESHOLD = 0.02
+_FIXED_FLOOR = 0.10
+_RANDOM_FLOOR = 0.80
+
+
+@dataclass(frozen=True, slots=True)
+class PowTraits:
+    """What an ASIC designer may assume about the PoW function."""
+
+    #: True when the computed function is one fixed dataflow (SHA-256d,
+    #: scrypt, Equihash); False for random-code PoW (HashCore, RandomX).
+    fixed_function: bool
+    #: True when evaluation includes generating/compiling a program — extra
+    #: machinery an ASIC must carry (§IV-B's three-program pipeline).
+    requires_generation: bool = False
+
+
+@dataclass(slots=True)
+class AsicAdvantage:
+    """Result of the best-ASIC construction for one PoW function."""
+
+    name: str
+    area_advantage: float
+    energy_advantage: float
+    asic_area: float
+    asic_power: float
+    kept: dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> str:
+        """One formatted table row (used by the E8 bench and example)."""
+        return (
+            f"{self.name:<14s} area x{self.area_advantage:8.1f}   "
+            f"energy x{self.energy_advantage:6.1f}   "
+            f"asic area {self.asic_area:6.1f}/{total_area():.0f}"
+        )
+
+
+class AsicModel:
+    """Evaluate the best-ASIC advantage for a PoW function."""
+
+    def __init__(self, drop_threshold: float = _DROP_THRESHOLD) -> None:
+        if not 0.0 <= drop_threshold < 1.0:
+            raise ConfigError("drop_threshold must be in [0, 1)")
+        self.drop_threshold = drop_threshold
+
+    def advantage(
+        self,
+        name: str,
+        utilization: dict[str, float],
+        traits: PowTraits,
+    ) -> AsicAdvantage:
+        """Compute advantage factors for a utilization vector."""
+        for key, value in utilization.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"utilization[{key}]={value} out of range")
+        floor = _FIXED_FLOOR if traits.fixed_function else _RANDOM_FLOOR
+        asic_area = 0.0
+        asic_power = 0.0
+        kept: dict[str, float] = {}
+        for resource in GPP_RESOURCES:
+            u = utilization.get(resource.name, 0.0)
+            if resource.programmability:
+                if traits.fixed_function:
+                    continue  # fixed dataflow: control machinery removed
+                if resource.name == "branch_predictor" and u < self.drop_threshold:
+                    continue  # branch-free random code: predictor pointless
+                kept[resource.name] = resource.area
+                asic_area += resource.area
+                asic_power += resource.power
+                continue
+            if u < self.drop_threshold:
+                continue  # stripped away entirely
+            if traits.fixed_function:
+                scale = max(u, _FIXED_FLOOR) * resource.harden_factor
+            else:
+                # Random code: the unit stays programmable; it can only be
+                # modestly down-sized because the next program may load it
+                # fully (§IV-A).
+                scale = max(u, floor)
+            kept[resource.name] = resource.area * scale
+            asic_area += resource.area * scale
+            asic_power += resource.power * scale
+        if traits.requires_generation:
+            # Generation + compilation machinery: carried at the cost of a
+            # frontend-sized block (the paper notes this "may increase the
+            # difficulty of developing custom hardware", §IV-B).
+            asic_area += 12.0
+            asic_power += 6.0
+        asic_area = max(asic_area, 1e-9)
+        asic_power = max(asic_power, 1e-9)
+        return AsicAdvantage(
+            name=name,
+            area_advantage=total_area() / asic_area,
+            energy_advantage=total_power() / asic_power,
+            asic_area=asic_area,
+            asic_power=asic_power,
+            kept=kept,
+        )
+
+
+def utilization_from_counters(
+    counters: PerfCounters, config: MachineConfig
+) -> dict[str, float]:
+    """Measure a utilization vector from a simulated run.
+
+    Per-unit occupancy = issued operations per cycle over the unit's
+    sustainable throughput; cache levels and DRAM from access rates; the
+    predictor from conditional-branch density; frontend and window from
+    achieved IPC.  Heuristic but measured — the same code path serves
+    HashCore widgets and the RandomX-like baseline.
+    """
+    cycles = max(counters.cycles, 1.0)
+    retired = max(counters.retired, 1)
+    per_cycle = lambda count, throughput: min(1.0, count / cycles / throughput)
+    mix = counters.mix_fractions()
+    accesses = counters.loads + counters.stores
+    l1_misses = max(0, accesses - counters.l1_hits)
+    l2_misses = max(0, l1_misses - counters.l2_hits)
+    return {
+        "frontend": min(1.0, counters.ipc / config.issue_width + 0.25),
+        "int_alu": per_cycle(counters.class_counts[0], 3.0),
+        "int_mul": per_cycle(counters.class_counts[1], 0.33),
+        "fp": per_cycle(counters.class_counts[2], 1.0),
+        "vector": per_cycle(counters.class_counts[6], 0.5),
+        "branch_predictor": min(1.0, 5.0 * mix["branch"]),
+        "ooo_window": min(1.0, counters.ipc / config.issue_width + 0.35),
+        "l1": per_cycle(accesses, 2.0),
+        "l2": per_cycle(l1_misses, 0.1),
+        "l3": per_cycle(l2_misses, 0.05),
+        "mem": per_cycle(counters.dram_accesses, 0.02),
+    }

@@ -1,0 +1,60 @@
+"""GPP resource inventory: die area and power of each structure.
+
+The numbers are relative units following published die-shot breakdowns of
+Ivy-Bridge-class server cores (LLC ≈ 30-40 % of die, out-of-order engine
+and vector units the biggest core blocks).  Only *ratios* matter to the
+advantage factors; absolute calibration is irrelevant.
+
+``harden_factor`` is the area an ASIC needs per unit of GPP area when the
+computed function is *fixed* (no random code): a hardened SHA-256 dataflow
+is far denser than a programmable ALU (factor ≈ 0.2), while SRAM/DRAM is
+already near-optimal (factor ≈ 0.7 — ASIC memory saves on ports and
+coherence, which is the energy argument of Ren & Devadas [10]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """One GPP structure."""
+
+    name: str
+    area: float
+    power: float
+    #: Relative area/power an ASIC needs for the same throughput when the
+    #: function is a fixed dataflow.
+    harden_factor: float
+    #: True for structures that exist only to run *arbitrary* programs;
+    #: a random-code PoW forces an ASIC to keep them outright.
+    programmability: bool = False
+
+
+#: The simulated GPP's inventory (relative units, Ivy-Bridge-like ratios).
+GPP_RESOURCES: tuple[Resource, ...] = (
+    Resource("frontend", area=12.0, power=6.0, harden_factor=0.0, programmability=True),
+    Resource("int_alu", area=6.0, power=4.0, harden_factor=0.2),
+    Resource("int_mul", area=4.0, power=3.0, harden_factor=0.25),
+    Resource("fp", area=10.0, power=7.0, harden_factor=0.25),
+    Resource("vector", area=12.0, power=8.0, harden_factor=0.3),
+    Resource("branch_predictor", area=4.0, power=2.0, harden_factor=0.0, programmability=True),
+    Resource("ooo_window", area=14.0, power=9.0, harden_factor=0.0, programmability=True),
+    Resource("l1", area=4.0, power=3.0, harden_factor=0.7),
+    Resource("l2", area=10.0, power=4.0, harden_factor=0.7),
+    Resource("l3", area=45.0, power=10.0, harden_factor=0.7),
+    Resource("mem", area=8.0, power=4.0, harden_factor=0.7),
+)
+
+RESOURCE_NAMES = tuple(r.name for r in GPP_RESOURCES)
+
+
+def total_area() -> float:
+    """Total GPP die area (relative units)."""
+    return sum(r.area for r in GPP_RESOURCES)
+
+
+def total_power() -> float:
+    """Total GPP power (relative units)."""
+    return sum(r.power for r in GPP_RESOURCES)

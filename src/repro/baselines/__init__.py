@@ -1,0 +1,26 @@
+"""Baseline PoW functions (§II related work, §VI-C alternatives).
+
+Every baseline implements the :class:`~repro.core.pow.PowFunction`
+interface so the miner, the blockchain, and the ASIC-advantage experiments
+can swap them for HashCore:
+
+* :class:`~repro.baselines.sha256d.Sha256d` — Bitcoin's double SHA-256,
+  the ASIC-friendly extreme.
+* :class:`~repro.baselines.scrypt_like.ScryptLike` — sequential
+  memory-hard ROMix (scrypt [9]).
+* :class:`~repro.baselines.equihash_like.EquihashLike` — memory-hard
+  generalized-birthday PoW (Equihash [1]).
+* :class:`~repro.baselines.randomx_like.RandomXLike` — random-program VM
+  PoW (§VI-C): uniform random code on the same synthetic ISA, *without*
+  inverted benchmarking's profile matching — the head-to-head contrast for
+  HashCore's generation strategy.
+"""
+
+from repro.baselines.sha256d import Sha256d
+from repro.baselines.scrypt_like import ScryptLike
+from repro.baselines.equihash_like import EquihashLike
+from repro.baselines.randomx_like import RandomXLike
+
+ALL_BASELINES = (Sha256d, ScryptLike, EquihashLike, RandomXLike)
+
+__all__ = ["Sha256d", "ScryptLike", "EquihashLike", "RandomXLike", "ALL_BASELINES"]

@@ -1,0 +1,123 @@
+"""Generalized-birthday PoW: a small-parameter Equihash.
+
+Equihash [1] asks for ``2^k`` hash-output indices whose XOR is zero on
+``n`` bits, found with Wagner's k-round collision algorithm over lists of
+``~2^(n/(k+1)+1)`` entries — memory-hard because the lists must be held
+and sorted.  This is the real algorithm at reduced parameters
+(``n = 48, k = 3`` by default: 8 Ki-entry lists, three 12-bit collision
+rounds) so a pure-Python solver runs in tens of milliseconds.
+
+As a ``PowFunction`` the solver output (or, when a run finds no solution,
+a distinguished miss marker) is hashed with the input to a 32-byte digest,
+so the function composes with the standard target check like any other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import PowError
+
+
+class EquihashLike:
+    """Wagner-style generalized-birthday PoW."""
+
+    name = "equihash-like"
+
+    def __init__(self, n: int = 48, k: int = 3) -> None:
+        if k < 1 or n % (k + 1):
+            raise PowError(f"need k >= 1 and (k+1) | n, got n={n} k={k}")
+        self.n = n
+        self.k = k
+        self.collision_bits = n // (k + 1)
+        self.list_size = 1 << (self.collision_bits + 1)
+
+    # ------------------------------------------------------------------
+    def _initial_list(self, seed: bytes) -> list[tuple[int, tuple[int, ...]]]:
+        """(hash value, index tuple) entries from the seeded hash stream."""
+        entries = []
+        mask = (1 << self.n) - 1
+        for i in range(self.list_size):
+            digest = hashlib.sha256(seed + struct.pack("<I", i)).digest()
+            value = int.from_bytes(digest[: (self.n + 7) // 8 + 1], "big") & mask
+            entries.append((value, (i,)))
+        return entries
+
+    def solve(self, seed: bytes) -> list[tuple[int, ...]] | None:
+        """Run Wagner's algorithm; returns solutions (index tuples) or None.
+
+        Each round buckets entries by their lowest ``collision_bits`` bits
+        and XOR-combines colliding pairs with disjoint index sets; after
+        ``k`` rounds any zero-valued entry is a solution.
+        """
+        entries = self._initial_list(seed)
+        shift = self.collision_bits
+        for round_index in range(self.k):
+            buckets: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+            for value, indices in entries:
+                buckets.setdefault(value & ((1 << shift) - 1), []).append((value, indices))
+            combined: list[tuple[int, tuple[int, ...]]] = []
+            for group in buckets.values():
+                for i in range(len(group)):
+                    value_i, idx_i = group[i]
+                    for j in range(i + 1, len(group)):
+                        value_j, idx_j = group[j]
+                        if set(idx_i) & set(idx_j):
+                            continue  # distinct-index constraint
+                        combined.append((
+                            (value_i ^ value_j) >> shift,
+                            tuple(sorted(idx_i + idx_j)),
+                        ))
+            entries = combined
+            if not entries:
+                return None
+        solutions = sorted({idx for value, idx in entries if value == 0})
+        return list(solutions) or None
+
+    @staticmethod
+    def verify_solution(seed: bytes, indices: tuple[int, ...], n: int, k: int) -> bool:
+        """Check that ``indices`` XOR to zero on ``n`` bits (cheap verify)."""
+        if len(indices) != 1 << k or len(set(indices)) != len(indices):
+            return False
+        mask = (1 << n) - 1
+        acc = 0
+        for i in indices:
+            digest = hashlib.sha256(seed + struct.pack("<I", i)).digest()
+            acc ^= int.from_bytes(digest[: (n + 7) // 8 + 1], "big") & mask
+        return acc == 0
+
+    # ------------------------------------------------------------------
+    def hash(self, data: bytes) -> bytes:
+        """PoW digest: the first solution (or a miss marker) hashed with
+        the input."""
+        seed = hashlib.sha256(data).digest()
+        solutions = self.solve(seed)
+        if solutions is None:
+            payload = b"no-solution"
+        else:
+            first = solutions[0]
+            payload = struct.pack(f"<{len(first)}I", *first)
+        return hashlib.sha256(seed + payload).digest()
+
+    def memory_bytes(self) -> int:
+        """Rough working-state footprint of the solver lists."""
+        return self.list_size * 16
+
+    def resource_profile(self) -> dict[str, float]:
+        """GPP utilization: hashing + bucket sort over multi-megabyte lists
+        at production parameters — memory and integer dominated, no FP or
+        vector, data-dependent but sort-predictable branches."""
+        return {
+            "frontend": 0.45,
+            "int_alu": 0.6,
+            "int_mul": 0.05,
+            "fp": 0.0,
+            "vector": 0.0,
+            "branch_predictor": 0.25,
+            "ooo_window": 0.45,
+            "l1": 0.9,
+            "l2": 0.8,
+            "l3": 0.7,
+            "mem": 0.5,
+        }

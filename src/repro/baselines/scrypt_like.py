@@ -1,0 +1,141 @@
+"""Sequential memory-hard PoW: a faithful small-parameter scrypt core.
+
+scrypt [9] drives ASIC resistance through *memory-hardness*: ROMix fills a
+table of pseudo-random blocks, then revisits them in a data-dependent
+order, so an efficient implementation must keep ``N`` blocks of state.
+This implementation is the real construction — Salsa20/8 core, BlockMix
+with ``r = 1``, ROMix over ``N`` 128-byte blocks — at parameters small
+enough for a pure-Python miner (the default ``N = 256`` uses 32 KiB,
+versus Litecoin's 128 KiB; the structure and the data-dependent
+access pattern are identical).
+
+The paper's critique (§II, [10]): memory units dominate, so an ASIC built
+from "many memory units and graph traversal logic" still wins on energy —
+visible in this function's resource profile, which exercises caches hard
+but leaves multiply/FP/vector/predictor silent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import PowError
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(x: int, k: int) -> int:
+    return ((x << k) | (x >> (32 - k))) & _MASK32
+
+
+def salsa20_8(words: list[int]) -> list[int]:
+    """Salsa20/8 core over 16 little-endian u32 words."""
+    if len(words) != 16:
+        raise PowError("salsa20/8 needs exactly 16 words")
+    x = list(words)
+    for _ in range(4):  # 8 rounds = 4 double-rounds
+        # Column round.
+        x[4] ^= _rotl32((x[0] + x[12]) & _MASK32, 7)
+        x[8] ^= _rotl32((x[4] + x[0]) & _MASK32, 9)
+        x[12] ^= _rotl32((x[8] + x[4]) & _MASK32, 13)
+        x[0] ^= _rotl32((x[12] + x[8]) & _MASK32, 18)
+        x[9] ^= _rotl32((x[5] + x[1]) & _MASK32, 7)
+        x[13] ^= _rotl32((x[9] + x[5]) & _MASK32, 9)
+        x[1] ^= _rotl32((x[13] + x[9]) & _MASK32, 13)
+        x[5] ^= _rotl32((x[1] + x[13]) & _MASK32, 18)
+        x[14] ^= _rotl32((x[10] + x[6]) & _MASK32, 7)
+        x[2] ^= _rotl32((x[14] + x[10]) & _MASK32, 9)
+        x[6] ^= _rotl32((x[2] + x[14]) & _MASK32, 13)
+        x[10] ^= _rotl32((x[6] + x[2]) & _MASK32, 18)
+        x[3] ^= _rotl32((x[15] + x[11]) & _MASK32, 7)
+        x[7] ^= _rotl32((x[3] + x[15]) & _MASK32, 9)
+        x[11] ^= _rotl32((x[7] + x[3]) & _MASK32, 13)
+        x[15] ^= _rotl32((x[11] + x[7]) & _MASK32, 18)
+        # Row round.
+        x[1] ^= _rotl32((x[0] + x[3]) & _MASK32, 7)
+        x[2] ^= _rotl32((x[1] + x[0]) & _MASK32, 9)
+        x[3] ^= _rotl32((x[2] + x[1]) & _MASK32, 13)
+        x[0] ^= _rotl32((x[3] + x[2]) & _MASK32, 18)
+        x[6] ^= _rotl32((x[5] + x[4]) & _MASK32, 7)
+        x[7] ^= _rotl32((x[6] + x[5]) & _MASK32, 9)
+        x[4] ^= _rotl32((x[7] + x[6]) & _MASK32, 13)
+        x[5] ^= _rotl32((x[4] + x[7]) & _MASK32, 18)
+        x[11] ^= _rotl32((x[10] + x[9]) & _MASK32, 7)
+        x[8] ^= _rotl32((x[11] + x[10]) & _MASK32, 9)
+        x[9] ^= _rotl32((x[8] + x[11]) & _MASK32, 13)
+        x[10] ^= _rotl32((x[9] + x[8]) & _MASK32, 18)
+        x[12] ^= _rotl32((x[15] + x[14]) & _MASK32, 7)
+        x[13] ^= _rotl32((x[12] + x[15]) & _MASK32, 9)
+        x[14] ^= _rotl32((x[13] + x[12]) & _MASK32, 13)
+        x[15] ^= _rotl32((x[14] + x[13]) & _MASK32, 18)
+    return [(x[i] + words[i]) & _MASK32 for i in range(16)]
+
+
+def _block_mix(block: list[int]) -> list[int]:
+    """BlockMix with r=1: two 64-byte halves through the Salsa core."""
+    x = block[16:32]
+    out = []
+    for half in (block[0:16], block[16:32]):
+        x = salsa20_8([a ^ b for a, b in zip(x, half)])
+        out.append(x)
+    return out[0] + out[1]
+
+
+class ScryptLike:
+    """Sequential memory-hard PoW (scrypt with small parameters)."""
+
+    name = "scrypt-like"
+
+    def __init__(self, n: int = 256) -> None:
+        if n < 2 or n & (n - 1):
+            raise PowError(f"N must be a power of two >= 2, got {n}")
+        self.n = n
+
+    def hash(self, data: bytes) -> bytes:
+        # Key expansion: 128 bytes (32 u32 words) from SHA-256 chaining.
+        seed = hashlib.sha256(data).digest()
+        material = b""
+        counter = 0
+        while len(material) < 128:
+            material += hashlib.sha256(seed + bytes([counter])).digest()
+            counter += 1
+        block = list(struct.unpack("<32I", material[:128]))
+
+        # ROMix: fill, then data-dependent gather.
+        table = []
+        for _ in range(self.n):
+            table.append(block)
+            block = _block_mix(block)
+        for _ in range(self.n):
+            j = block[16] % self.n  # integerify: first word of second half
+            block = _block_mix([a ^ b for a, b in zip(block, table[j])])
+
+        return hashlib.sha256(struct.pack("<32I", *block)).digest()
+
+    def memory_bytes(self) -> int:
+        """Bytes of state an efficient evaluation must hold."""
+        return self.n * 128
+
+    def resource_profile(self) -> dict[str, float]:
+        """GPP resource utilization of a scrypt miner.
+
+        Salsa rounds are add/xor/rotate (integer ALU); ROMix's second loop
+        streams data-dependent 128-byte blocks through the cache level that
+        fits ``N``.  Multiply, FP, vector, and the branch predictor stay
+        idle — the structure a memory-plus-mixer ASIC strips away.
+        """
+        in_l1 = self.memory_bytes() <= 32 * 1024
+        return {
+            "frontend": 0.35,
+            "int_alu": 0.75,
+            "int_mul": 0.0,
+            "fp": 0.0,
+            "vector": 0.0,
+            "branch_predictor": 0.02,
+            "ooo_window": 0.35,
+            "l1": 0.9,
+            "l2": 0.0 if in_l1 else 0.9,
+            "l3": 0.0,
+            "mem": 0.0,
+        }

@@ -1,0 +1,46 @@
+"""Bitcoin's PoW function: double SHA-256.
+
+The ASIC-friendly extreme of the spectrum: a fixed dataflow of 32-bit
+bitwise/add operations with a few hundred bytes of state and no memory
+traffic — exactly the kind of function for which "custom hardware can be
+built that will materially outperform general purpose hardware" (§IV-A).
+Its resource profile reflects that: only the integer ALU is exercised, and
+only a sliver of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class Sha256d:
+    """Double SHA-256 PoW (Bitcoin)."""
+
+    name = "sha256d"
+
+    def hash(self, data: bytes) -> bytes:
+        return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+    @staticmethod
+    def resource_profile() -> dict[str, float]:
+        """GPP resource utilization of a SHA-256d miner.
+
+        A software SHA-256 inner loop uses 32-bit logical/add operations
+        almost exclusively; it never multiplies, touches floating point or
+        vectors (scalar reference code), misses no caches (the message
+        schedule fits in registers/L1), and is branch-free.  These numbers
+        parameterise the ASIC-advantage model (E8).
+        """
+        return {
+            "frontend": 0.30,   # tiny fixed loop: decode bandwidth barely used
+            "int_alu": 0.90,
+            "int_mul": 0.0,
+            "fp": 0.0,
+            "vector": 0.0,
+            "branch_predictor": 0.02,
+            "ooo_window": 0.30,
+            "l1": 0.05,
+            "l2": 0.0,
+            "l3": 0.0,
+            "mem": 0.0,
+        }

@@ -1,0 +1,109 @@
+"""Block headers and blocks.
+
+The 88-byte header is what the PoW function hashes: version, previous block
+hash, merkle root, timestamp, compact difficulty bits, and a 64-bit nonce
+(widened from Bitcoin's 32 bits — HashCore's ~10 hash/s rate never wraps
+it, and neither do the fast baselines in long simulations).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.blockchain.merkle import merkle_root
+from repro.errors import ChainError
+
+GENESIS_PREV_HASH = bytes(32)
+
+_HEADER = struct.Struct("<I32s32sQIQ")
+
+#: Serialized header size in bytes.
+HEADER_BYTES = _HEADER.size
+
+
+@dataclass(frozen=True, slots=True)
+class BlockHeader:
+    """The hashed portion of a block."""
+
+    version: int
+    prev_hash: bytes
+    merkle_root: bytes
+    timestamp: int
+    bits: int
+    nonce: int
+
+    def __post_init__(self) -> None:
+        if len(self.prev_hash) != 32 or len(self.merkle_root) != 32:
+            raise ChainError("prev_hash and merkle_root must be 32 bytes")
+        if not 0 <= self.version < 2**32 or not 0 <= self.bits < 2**32:
+            raise ChainError("version/bits out of u32 range")
+        if not 0 <= self.timestamp < 2**64 or not 0 <= self.nonce < 2**64:
+            raise ChainError("timestamp/nonce out of u64 range")
+
+    def serialize(self) -> bytes:
+        """Canonical header bytes — the PoW function's input."""
+        return _HEADER.pack(
+            self.version,
+            self.prev_hash,
+            self.merkle_root,
+            self.timestamp,
+            self.bits,
+            self.nonce,
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "BlockHeader":
+        if len(data) != HEADER_BYTES:
+            raise ChainError(f"header must be {HEADER_BYTES} bytes, got {len(data)}")
+        version, prev_hash, root, timestamp, bits, nonce = _HEADER.unpack(data)
+        return cls(version, prev_hash, root, timestamp, bits, nonce)
+
+    def with_nonce(self, nonce: int) -> "BlockHeader":
+        return replace(self, nonce=nonce)
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """A header plus the transactions its merkle root commits to."""
+
+    header: BlockHeader
+    transactions: tuple[bytes, ...]
+
+    @classmethod
+    def build(
+        cls,
+        prev_hash: bytes,
+        transactions: list[bytes],
+        timestamp: int,
+        bits: int,
+        nonce: int = 0,
+        version: int = 1,
+    ) -> "Block":
+        """Assemble a block whose header commits to ``transactions``."""
+        header = BlockHeader(
+            version=version,
+            prev_hash=prev_hash,
+            merkle_root=merkle_root(transactions),
+            timestamp=timestamp,
+            bits=bits,
+            nonce=nonce,
+        )
+        return cls(header=header, transactions=tuple(transactions))
+
+    def validate_merkle(self) -> None:
+        """Raise :class:`ChainError` if the root doesn't match the body.
+
+        Duplicate transactions are rejected outright: the odd-leaf
+        duplication rule makes ``[a, b, c]`` and ``[a, b, c, c]`` share a
+        root (Bitcoin's CVE-2012-2459), so allowing duplicates would let
+        two different bodies validate against one header.
+        """
+        if len(set(self.transactions)) != len(self.transactions):
+            raise ChainError("duplicate transactions in block")
+        expected = merkle_root(list(self.transactions))
+        if expected != self.header.merkle_root:
+            raise ChainError("merkle root does not commit to transactions")
+
+    def with_nonce(self, nonce: int) -> "Block":
+        return Block(header=self.header.with_nonce(nonce), transactions=self.transactions)

@@ -1,0 +1,172 @@
+"""Chain state: validation, storage, and accumulated-work fork choice.
+
+Design notes:
+
+* The *block id* is double-SHA-256 of the header — cheap, unique, and
+  independent of the PoW function, so chains secured by HashCore (whose
+  evaluation costs ~0.1 s) can still be indexed instantly.
+* The *PoW check* runs the chain's PoW function over the same header bytes
+  and compares against the target encoded in ``bits``.
+* ``bits`` itself is consensus-checked against the retarget schedule, so a
+  miner cannot grant itself an easy target.
+* Fork choice is accumulated expected work (Σ difficulty), ties broken by
+  arrival order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.blockchain.block import GENESIS_PREV_HASH, Block
+from repro.blockchain.difficulty import RetargetSchedule, next_compact_target
+from repro.core.pow import PowFunction, compact_to_target, meets_target, target_to_difficulty
+from repro.errors import ChainError
+
+
+def block_id(block: Block) -> bytes:
+    """Identity hash of a block (double SHA-256 of the header)."""
+    data = block.header.serialize()
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+@dataclass(slots=True)
+class _Entry:
+    block: Block
+    height: int
+    total_work: float
+    arrival: int
+
+
+class Blockchain:
+    """A validating block store with fork choice."""
+
+    def __init__(
+        self,
+        pow_fn: PowFunction,
+        schedule: RetargetSchedule | None = None,
+        genesis_bits: int = 0x207FFFFF,
+        genesis_time: int = 0,
+    ) -> None:
+        self.pow_fn = pow_fn
+        self.schedule = schedule or RetargetSchedule()
+        genesis = Block.build(
+            prev_hash=GENESIS_PREV_HASH,
+            transactions=[b"genesis"],
+            timestamp=genesis_time,
+            bits=genesis_bits,
+        )
+        self._entries: dict[bytes, _Entry] = {}
+        self._arrivals = 0
+        gid = block_id(genesis)
+        self._entries[gid] = _Entry(block=genesis, height=0, total_work=0.0, arrival=0)
+        self._tip = gid
+        self.genesis_id = gid
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def tip_id(self) -> bytes:
+        return self._tip
+
+    def tip(self) -> Block:
+        return self._entries[self._tip].block
+
+    def height(self) -> int:
+        return self._entries[self._tip].height
+
+    def total_work(self) -> float:
+        return self._entries[self._tip].total_work
+
+    def get(self, bid: bytes) -> Block:
+        try:
+            return self._entries[bid].block
+        except KeyError:
+            raise ChainError(f"unknown block {bid.hex()[:16]}") from None
+
+    def height_of(self, bid: bytes) -> int:
+        return self._entries[bid].height
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def main_chain(self) -> list[Block]:
+        """Blocks from genesis to tip, inclusive."""
+        out = []
+        cursor = self._tip
+        while True:
+            entry = self._entries[cursor]
+            out.append(entry.block)
+            if entry.height == 0:
+                break
+            cursor = entry.block.header.prev_hash
+        out.reverse()
+        return out
+
+    # ------------------------------------------------------------------
+    # consensus rules
+    # ------------------------------------------------------------------
+    def expected_bits(self, parent_id: bytes) -> int:
+        """Compact target a child of ``parent_id`` must carry."""
+        parent = self._entries[parent_id]
+        child_height = parent.height + 1
+        if child_height % self.schedule.interval != 0:
+            return parent.block.header.bits
+        # Walk back to the start of the parent's window.
+        cursor = parent_id
+        for _ in range(self.schedule.interval - 1):
+            entry = self._entries[cursor]
+            if entry.height == 0:
+                break
+            cursor = entry.block.header.prev_hash
+        window_start = self._entries[cursor].block.header.timestamp
+        return next_compact_target(
+            self.schedule,
+            parent.block.header.bits,
+            window_start,
+            parent.block.header.timestamp,
+        )
+
+    def validate_block(self, block: Block) -> _Entry:
+        """Run all consensus checks; returns the prospective entry."""
+        header = block.header
+        parent = self._entries.get(header.prev_hash)
+        if parent is None:
+            raise ChainError("unknown parent block")
+        if header.timestamp < parent.block.header.timestamp:
+            raise ChainError("timestamp precedes parent")
+        expected = self.expected_bits(header.prev_hash)
+        if header.bits != expected:
+            raise ChainError(
+                f"wrong difficulty bits {header.bits:#x}, expected {expected:#x}"
+            )
+        block.validate_merkle()
+        target = compact_to_target(header.bits)
+        digest = self.pow_fn.hash(header.serialize())
+        if not meets_target(digest, target):
+            raise ChainError("proof of work does not meet target")
+        work = target_to_difficulty(target)
+        return _Entry(
+            block=block,
+            height=parent.height + 1,
+            total_work=parent.total_work + work,
+            arrival=0,
+        )
+
+    def add_block(self, block: Block) -> bytes:
+        """Validate and store a block; returns its id.
+
+        Fork choice moves the tip only when the new block's accumulated
+        work strictly exceeds the current tip's.
+        """
+        entry = self.validate_block(block)
+        bid = block_id(block)
+        if bid in self._entries:
+            raise ChainError("duplicate block")
+        self._arrivals += 1
+        entry.arrival = self._arrivals
+        self._entries[bid] = entry
+        if entry.total_work > self._entries[self._tip].total_work:
+            self._tip = bid
+        return bid

@@ -1,0 +1,61 @@
+"""Difficulty retargeting.
+
+"Most PoW systems vary the difficulty of the PoW protocol with the total
+hashing power of the network" (§I).  The schedule here is Bitcoin's: every
+``interval`` blocks, scale the target by actual-elapsed / expected-elapsed,
+clamped to a 4x swing per adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pow import MAX_TARGET, compact_to_target, target_to_compact
+from repro.errors import ChainError
+
+
+@dataclass(frozen=True, slots=True)
+class RetargetSchedule:
+    """Consensus retargeting parameters."""
+
+    #: Desired seconds between blocks.
+    block_time: float = 30.0
+    #: Blocks between adjustments.
+    interval: int = 16
+    #: Maximum factor the target may move per adjustment.
+    clamp: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.block_time <= 0:
+            raise ChainError("block_time must be positive")
+        if self.interval < 1:
+            raise ChainError("interval must be >= 1")
+        if self.clamp < 1.0:
+            raise ChainError("clamp must be >= 1")
+
+    @property
+    def expected_span(self) -> float:
+        """Expected seconds per retarget window."""
+        return self.block_time * self.interval
+
+
+def next_compact_target(
+    schedule: RetargetSchedule,
+    current_bits: int,
+    window_start_time: int,
+    window_end_time: int,
+) -> int:
+    """Compute the next window's compact target from the last window's span.
+
+    Slower-than-expected windows (``actual > expected``) raise the target
+    (lower difficulty) and vice versa, clamped to ``schedule.clamp``.
+    """
+    if window_end_time < window_start_time:
+        raise ChainError("retarget window has negative duration")
+    actual = float(window_end_time - window_start_time)
+    expected = schedule.expected_span
+    ratio = actual / expected if expected > 0 else 1.0
+    ratio = min(schedule.clamp, max(1.0 / schedule.clamp, ratio))
+    target = compact_to_target(current_bits)
+    new_target = min(MAX_TARGET, max(1, int(target * ratio)))
+    return target_to_compact(new_target)

@@ -1,0 +1,133 @@
+"""Lamport one-time signatures (pure SHA-256).
+
+The transaction layer needs signatures, and this reproduction has no
+dependency on an ECC library — so it uses the classic hash-based scheme,
+which is real cryptography built from the same primitive as the hash
+gates:
+
+* secret key: 256 pairs of 32-byte secrets ``s[i][b]`` (one pair per
+  message-digest bit), derived deterministically from a 32-byte seed;
+* public key: the 256 pairs of hashes ``H(s[i][b])``; the *address* is the
+  SHA-256 of their concatenation;
+* signature: for each bit ``m_i`` of ``H(message)``, reveal ``s[i][m_i]``
+  and include the sibling hash ``H(s[i][1-m_i])`` so the verifier can
+  recompute the address.
+
+Signatures are ~16 KB and **one-time**: signing two different messages
+with one key reveals both secrets of differing bit positions, letting a
+forger mix and match.  :class:`Wallet` tracks usage and refuses to sign
+twice, deriving a fresh keypair per nonce instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import ChainError
+
+_BITS = 256
+_SECRET_BYTES = 32
+
+#: Serialized signature size: per bit, the revealed secret + sibling hash.
+SIGNATURE_BYTES = _BITS * 2 * _SECRET_BYTES
+#: Address size (SHA-256 of the public key).
+ADDRESS_BYTES = 32
+
+
+def _sha(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+class LamportKeyPair:
+    """A one-time keypair derived deterministically from a seed."""
+
+    def __init__(self, seed: bytes) -> None:
+        if len(seed) != 32:
+            raise ChainError("keypair seed must be 32 bytes")
+        self._secrets: list[tuple[bytes, bytes]] = []
+        hashes: list[bytes] = []
+        for index in range(_BITS):
+            s0 = _sha(seed + struct.pack("<HB", index, 0))
+            s1 = _sha(seed + struct.pack("<HB", index, 1))
+            self._secrets.append((s0, s1))
+            hashes.append(_sha(s0))
+            hashes.append(_sha(s1))
+        self.address: bytes = _sha(b"".join(hashes))
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message``; returns the serialized signature.
+
+        Remember the one-time property — key management belongs in
+        :class:`Wallet`.
+        """
+        digest = int.from_bytes(_sha(message), "big")
+        parts = []
+        for index in range(_BITS):
+            bit = (digest >> (_BITS - 1 - index)) & 1
+            revealed = self._secrets[index][bit]
+            sibling_hash = _sha(self._secrets[index][1 - bit])
+            parts.append(revealed)
+            parts.append(sibling_hash)
+        return b"".join(parts)
+
+
+def verify(address: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a Lamport signature against an address."""
+    if len(address) != ADDRESS_BYTES or len(signature) != SIGNATURE_BYTES:
+        return False
+    digest = int.from_bytes(_sha(message), "big")
+    hashes = []
+    offset = 0
+    for index in range(_BITS):
+        revealed = signature[offset : offset + _SECRET_BYTES]
+        sibling = signature[offset + _SECRET_BYTES : offset + 2 * _SECRET_BYTES]
+        offset += 2 * _SECRET_BYTES
+        bit = (digest >> (_BITS - 1 - index)) & 1
+        revealed_hash = _sha(revealed)
+        if bit == 0:
+            hashes.append(revealed_hash)
+            hashes.append(sibling)
+        else:
+            hashes.append(sibling)
+            hashes.append(revealed_hash)
+    return _sha(b"".join(hashes)) == address
+
+
+class Wallet:
+    """Per-nonce one-time keys under a single master seed.
+
+    The account's *identity* is the address of key 0; every transaction
+    nonce ``n`` is signed with the keypair derived for ``n``, whose
+    address is announced inside the signed payload (transactions commit to
+    the next key, hash-ladder style).  The wallet enforces the one-time
+    property.
+    """
+
+    def __init__(self, master_seed: bytes) -> None:
+        if len(master_seed) != 32:
+            raise ChainError("master seed must be 32 bytes")
+        self._master = master_seed
+        self._used: set[int] = set()
+
+    def keypair(self, nonce: int) -> LamportKeyPair:
+        """The one-time keypair for transaction ``nonce``."""
+        if nonce < 0:
+            raise ChainError("nonce must be non-negative")
+        return LamportKeyPair(_sha(self._master + struct.pack("<Q", nonce)))
+
+    @property
+    def address(self) -> bytes:
+        """The account identity (address of the nonce-0 key)."""
+        return self.keypair(0).address
+
+    def address_for(self, nonce: int) -> bytes:
+        """The announced one-time address for ``nonce``."""
+        return self.keypair(nonce).address
+
+    def sign(self, nonce: int, message: bytes) -> bytes:
+        """Sign with the ``nonce`` key, enforcing one-time use."""
+        if nonce in self._used:
+            raise ChainError(f"one-time key for nonce {nonce} already used")
+        self._used.add(nonce)
+        return self.keypair(nonce).sign(message)

@@ -1,0 +1,99 @@
+"""Fee-priority mempool.
+
+Holds pending transactions, validates them against a ledger view on
+admission, and assembles block candidates greedily by fee — highest fee
+first, respecting per-account nonce order (a later-nonce transaction is
+only eligible once its predecessor is selected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockchain.ledger import Ledger
+from repro.blockchain.transaction import Transaction
+from repro.errors import ChainError
+
+
+@dataclass(slots=True)
+class Mempool:
+    """Pending-transaction pool bound to a ledger view."""
+
+    ledger: Ledger
+    max_size: int = 10_000
+    _by_id: dict[bytes, Transaction] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    # ------------------------------------------------------------------
+    def add(self, tx: Transaction) -> bytes:
+        """Admit a transaction; returns its id.
+
+        Admission checks signature/balance/nonce against the current
+        ledger, allowing nonce *gaps above* pending transactions of the
+        same sender (chained spends), and rejects duplicates and overflow.
+        """
+        if len(self._by_id) >= self.max_size:
+            raise ChainError("mempool full")
+        txid = tx.tx_id()
+        if txid in self._by_id:
+            raise ChainError("duplicate transaction")
+        pending_nonces = [
+            p.nonce for p in self._by_id.values() if p.sender == tx.sender
+        ]
+        base_nonce = self.ledger.nonce(tx.sender)
+        expected = base_nonce + len(pending_nonces)
+        if tx.nonce != expected:
+            raise ChainError(
+                f"mempool nonce mismatch: expected {expected}, got {tx.nonce}"
+            )
+        if tx.nonce == base_nonce:
+            # First pending spend: fully verifiable against the ledger now.
+            self.ledger.validate_transaction(tx)
+        self._by_id[txid] = tx
+        return txid
+
+    def select(self, max_transactions: int) -> list[Transaction]:
+        """Block-candidate selection: greedy by fee, nonce-ordered per
+        sender."""
+        if max_transactions < 1:
+            raise ChainError("max_transactions must be >= 1")
+        remaining = sorted(
+            self._by_id.values(), key=lambda tx: (-tx.fee, tx.tx_id())
+        )
+        next_nonce = {}
+        chosen: list[Transaction] = []
+        progress = True
+        while remaining and len(chosen) < max_transactions and progress:
+            progress = False
+            deferred = []
+            for tx in remaining:
+                if len(chosen) >= max_transactions:
+                    deferred.append(tx)
+                    continue
+                expected = next_nonce.get(tx.sender, self.ledger.nonce(tx.sender))
+                if tx.nonce == expected:
+                    chosen.append(tx)
+                    next_nonce[tx.sender] = expected + 1
+                    progress = True
+                else:
+                    deferred.append(tx)
+            remaining = deferred
+        return chosen
+
+    def remove_included(self, transactions: list[Transaction]) -> None:
+        """Drop transactions that made it into a block."""
+        for tx in transactions:
+            self._by_id.pop(tx.tx_id(), None)
+
+    def revalidate(self) -> int:
+        """Drop transactions no longer valid against the ledger (stale
+        nonces after a block applied, spent balances).  Returns how many
+        were evicted."""
+        evicted = 0
+        for txid, tx in list(self._by_id.items()):
+            if tx.nonce < self.ledger.nonce(tx.sender):
+                del self._by_id[txid]
+                evicted += 1
+        return evicted

@@ -1,0 +1,70 @@
+"""Merkle tree commitments over block transactions.
+
+Standard Bitcoin-style construction: leaves are double-SHA-256 of the
+transaction payloads, odd levels duplicate their last node, and the root
+commits to the ordered transaction list.  Proofs are (sibling, is_right)
+paths verified against the root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ChainError
+
+
+def _sha256d(data: bytes) -> bytes:
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def _leaf_hashes(transactions: list[bytes]) -> list[bytes]:
+    if not transactions:
+        raise ChainError("merkle tree needs at least one transaction")
+    return [_sha256d(tx) for tx in transactions]
+
+
+def merkle_root(transactions: list[bytes]) -> bytes:
+    """Root hash committing to the ordered transaction list."""
+    level = _leaf_hashes(transactions)
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            _sha256d(level[i] + level[i + 1]) for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def merkle_proof(transactions: list[bytes], index: int) -> list[tuple[bytes, bool]]:
+    """Inclusion proof for ``transactions[index]``.
+
+    Each element is ``(sibling_hash, sibling_is_right)``, leaf-to-root.
+    """
+    if not 0 <= index < len(transactions):
+        raise ChainError(f"transaction index {index} out of range")
+    level = _leaf_hashes(transactions)
+    proof: list[tuple[bytes, bool]] = []
+    position = index
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        sibling = position ^ 1
+        proof.append((level[sibling], bool(sibling > position)))
+        level = [
+            _sha256d(level[i] + level[i + 1]) for i in range(0, len(level), 2)
+        ]
+        position //= 2
+    return proof
+
+
+def verify_proof(
+    transaction: bytes, proof: list[tuple[bytes, bool]], root: bytes
+) -> bool:
+    """Check an inclusion proof against a merkle root."""
+    node = _sha256d(transaction)
+    for sibling, sibling_is_right in proof:
+        if sibling_is_right:
+            node = _sha256d(node + sibling)
+        else:
+            node = _sha256d(sibling + node)
+    return node == root

@@ -1,0 +1,133 @@
+"""Nonce-searching miner.
+
+"The process of searching for hashes is referred to as 'mining'" (§I): the
+miner iterates nonces over the serialized header until the PoW digest meets
+the target.  Works with any :class:`~repro.core.pow.PowFunction` — SHA-256d
+mines thousands of nonces per second, HashCore roughly ten (each attempt
+generates, compiles and executes a widget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import concurrent.futures
+from typing import Callable
+
+from repro.blockchain.block import Block, BlockHeader
+from repro.core.pow import PowFunction, compact_to_target, meets_target
+from repro.errors import PowError
+
+
+@dataclass(frozen=True, slots=True)
+class MinedBlock:
+    """A successfully mined block plus mining statistics."""
+
+    block: Block
+    digest: bytes
+    attempts: int
+
+
+def mine_header(
+    header: BlockHeader,
+    pow_fn: PowFunction,
+    *,
+    max_attempts: int = 1_000_000,
+    start_nonce: int = 0,
+) -> tuple[BlockHeader, bytes, int]:
+    """Search nonces for ``header`` until its PoW meets the header's target.
+
+    Returns ``(solved_header, digest, attempts)``.  Raises
+    :class:`PowError` when ``max_attempts`` nonces fail — callers with a
+    real-time loop should retry with a fresh timestamp.
+    """
+    target = compact_to_target(header.bits)
+    for attempt in range(max_attempts):
+        candidate = header.with_nonce(start_nonce + attempt)
+        digest = pow_fn.hash(candidate.serialize())
+        if meets_target(digest, target):
+            return candidate, digest, attempt + 1
+    raise PowError(
+        f"no solution in {max_attempts} attempts for target {target:#066x}"
+    )
+
+
+def mine_block(
+    block: Block,
+    pow_fn: PowFunction,
+    *,
+    max_attempts: int = 1_000_000,
+    start_nonce: int = 0,
+) -> MinedBlock:
+    """Mine a fully assembled block (header nonce search)."""
+    header, digest, attempts = mine_header(
+        block.header, pow_fn, max_attempts=max_attempts, start_nonce=start_nonce
+    )
+    return MinedBlock(
+        block=Block(header=header, transactions=block.transactions),
+        digest=digest,
+        attempts=attempts,
+    )
+
+
+def _search_range(args) -> tuple[int, bytes] | None:
+    """Worker: scan one nonce range (module-level for pickling)."""
+    header_bytes, factory, start, count, target = args
+    pow_fn = factory()
+    header = BlockHeader.deserialize(header_bytes)
+    for nonce in range(start, start + count):
+        digest = pow_fn.hash(header.with_nonce(nonce).serialize())
+        if meets_target(digest, target):
+            return nonce, digest
+    return None
+
+
+def mine_header_parallel(
+    header: BlockHeader,
+    pow_factory: Callable[[], PowFunction],
+    *,
+    workers: int = 2,
+    chunk: int = 2048,
+    max_attempts: int = 1_000_000,
+) -> tuple[BlockHeader, bytes, int]:
+    """Multi-process nonce search.
+
+    ``pow_factory`` must be a picklable zero-argument callable constructing
+    the PoW function inside each worker (PoW objects themselves may hold
+    unpicklable state).  Returns the same triple as :func:`mine_header`;
+    ``attempts`` is an upper bound (whole scanned ranges).  Mostly useful
+    for the cheap baselines — HashCore's Python evaluation cost dwarfs the
+    process overhead only for large widgets.
+    """
+    if workers < 1 or chunk < 1:
+        raise PowError("workers and chunk must be >= 1")
+    target = compact_to_target(header.bits)
+    header_bytes = header.serialize()
+    scanned = 0
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        next_start = 0
+        pending = set()
+        try:
+            while scanned < max_attempts:
+                while len(pending) < workers and next_start < max_attempts:
+                    count = min(chunk, max_attempts - next_start)
+                    pending.add(pool.submit(
+                        _search_range,
+                        (header_bytes, pow_factory, next_start, count, target),
+                    ))
+                    next_start += count
+                done, pending = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    scanned += chunk
+                    result = future.result()
+                    if result is not None:
+                        nonce, digest = result
+                        return header.with_nonce(nonce), digest, scanned
+                if next_start >= max_attempts and not pending:
+                    break
+        finally:
+            for future in pending:
+                future.cancel()
+    raise PowError(f"no solution in {max_attempts} attempts (parallel)")

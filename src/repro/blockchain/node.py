@@ -1,0 +1,167 @@
+"""Multi-node propagation: nodes, delayed gossip, reorgs.
+
+A small deterministic P2P harness over the validating
+:class:`~repro.blockchain.chain.Blockchain`: each node holds its own chain
+replica, mined blocks gossip to peers with a configurable tick delay, and
+out-of-order arrivals park in an orphan buffer until their parent shows
+up.  It exists to exercise the consensus machinery the way a real
+deployment would — concurrent mining, temporary forks, and work-based
+reorgs — which the single-chain unit tests cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain, block_id
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.miner import mine_block
+from repro.core.pow import PowFunction
+from repro.errors import ChainError
+
+
+class Node:
+    """One network participant: a chain replica plus an orphan buffer."""
+
+    def __init__(
+        self,
+        name: str,
+        pow_fn: PowFunction,
+        schedule: RetargetSchedule | None = None,
+        genesis_bits: int = 0x207FFFFF,
+    ) -> None:
+        self.name = name
+        self.chain = Blockchain(pow_fn, schedule=schedule, genesis_bits=genesis_bits)
+        self._orphans: dict[bytes, list[Block]] = {}  # parent id -> children
+        #: Number of times the tip switched to a block that does not extend
+        #: the previous tip (observable reorgs).
+        self.reorgs = 0
+
+    def tip_id(self) -> bytes:
+        return self.chain.tip_id
+
+    def receive(self, block: Block) -> bool:
+        """Accept a gossiped block; returns True when it (eventually)
+        entered the chain.  Unknown-parent blocks are buffered."""
+        parent = block.header.prev_hash
+        try:
+            self.chain.get(parent)
+        except ChainError:
+            self._orphans.setdefault(parent, []).append(block)
+            return False
+        accepted = self._add(block)
+        if accepted:
+            self._drain_orphans(block_id(block))
+        return accepted
+
+    def _add(self, block: Block) -> bool:
+        old_tip = self.chain.tip_id
+        try:
+            bid = self.chain.add_block(block)
+        except ChainError:
+            return False
+        if self.chain.tip_id == bid and block.header.prev_hash != old_tip:
+            self.reorgs += 1
+        return True
+
+    def _drain_orphans(self, parent_id: bytes) -> None:
+        pending = self._orphans.pop(parent_id, [])
+        for child in pending:
+            if self._add(child):
+                self._drain_orphans(block_id(child))
+
+    def orphan_count(self) -> int:
+        return sum(len(children) for children in self._orphans.values())
+
+
+@dataclass(slots=True)
+class _InFlight:
+    deliver_at: int
+    target: int
+    block: Block
+
+
+@dataclass
+class P2PNetwork:
+    """Fully connected gossip network with a fixed tick delay."""
+
+    nodes: list[Node]
+    delay: int = 1
+    _queue: list[_InFlight] = field(default_factory=list)
+    _tick: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        n_nodes: int,
+        pow_fn: PowFunction,
+        schedule: RetargetSchedule | None = None,
+        genesis_bits: int = 0x207FFFFF,
+        delay: int = 1,
+    ) -> "P2PNetwork":
+        if n_nodes < 1:
+            raise ChainError("need at least one node")
+        nodes = [
+            Node(f"node{i}", pow_fn, schedule=schedule, genesis_bits=genesis_bits)
+            for i in range(n_nodes)
+        ]
+        return cls(nodes=nodes, delay=delay)
+
+    # ------------------------------------------------------------------
+    def mine_on(
+        self,
+        node_index: int,
+        transactions: list[bytes],
+        timestamp: int,
+        max_attempts: int = 500_000,
+        nonce_salt: int = 0,
+    ) -> Block:
+        """Mine a block on one node's current tip and gossip it."""
+        node = self.nodes[node_index]
+        template = Block.build(
+            prev_hash=node.tip_id(),
+            transactions=transactions,
+            timestamp=timestamp,
+            bits=node.chain.expected_bits(node.tip_id()),
+        )
+        mined = mine_block(
+            template,
+            node.chain.pow_fn,
+            max_attempts=max_attempts,
+            start_nonce=nonce_salt,
+        )
+        node.receive(mined.block)
+        self.broadcast(node_index, mined.block)
+        return mined.block
+
+    def broadcast(self, origin: int, block: Block) -> None:
+        """Queue delivery of ``block`` to every other node."""
+        for target in range(len(self.nodes)):
+            if target != origin:
+                self._queue.append(
+                    _InFlight(deliver_at=self._tick + self.delay, target=target,
+                              block=block)
+                )
+
+    def tick(self, count: int = 1) -> None:
+        """Advance time, delivering due messages in deterministic order."""
+        for _ in range(count):
+            self._tick += 1
+            due = [m for m in self._queue if m.deliver_at <= self._tick]
+            self._queue = [m for m in self._queue if m.deliver_at > self._tick]
+            for message in due:
+                self.nodes[message.target].receive(message.block)
+
+    def settle(self) -> None:
+        """Deliver everything in flight."""
+        while self._queue:
+            self.tick()
+
+    def converged(self) -> bool:
+        """True when every node agrees on the tip."""
+        tips = {node.tip_id() for node in self.nodes}
+        return len(tips) == 1
+
+    def heights(self) -> list[int]:
+        return [node.chain.height() for node in self.nodes]

@@ -1,0 +1,120 @@
+"""Signed account-model transactions.
+
+A transaction moves ``amount`` from ``sender`` to ``recipient`` paying
+``fee`` to the miner.  Authentication is hash-ladder style over the
+one-time Lamport keys of :mod:`repro.blockchain.lamport`:
+
+* an account's identity is the address of its nonce-0 key;
+* the ledger stores the account's *expected key address*; transaction
+  ``n`` must be signed by exactly that key;
+* each transaction announces ``next_key`` (the nonce ``n+1`` address),
+  which becomes the new expected key once applied — so every one-time key
+  signs exactly once, enforced by consensus, not just by wallets.
+
+Serialized transactions are ordinary byte strings, so they drop into the
+existing merkle-committed :class:`~repro.blockchain.block.Block` unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.blockchain.lamport import ADDRESS_BYTES, SIGNATURE_BYTES, Wallet, verify
+from repro.errors import ChainError
+
+_HEADER = struct.Struct("<32s32sQQQ32s")
+
+#: Serialized transaction size (payload + signature).
+TRANSACTION_BYTES = _HEADER.size + SIGNATURE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """A signed transfer."""
+
+    sender: bytes
+    recipient: bytes
+    amount: int
+    fee: int
+    nonce: int
+    next_key: bytes
+    signature: bytes
+
+    def __post_init__(self) -> None:
+        for label, value in (("sender", self.sender), ("recipient", self.recipient),
+                             ("next_key", self.next_key)):
+            if len(value) != ADDRESS_BYTES:
+                raise ChainError(f"{label} must be {ADDRESS_BYTES} bytes")
+        for label, value in (("amount", self.amount), ("fee", self.fee),
+                             ("nonce", self.nonce)):
+            if not 0 <= value < 2**64:
+                raise ChainError(f"{label} out of u64 range")
+        if len(self.signature) != SIGNATURE_BYTES:
+            raise ChainError("bad signature length")
+
+    # ------------------------------------------------------------------
+    def payload(self) -> bytes:
+        """The signed portion."""
+        return _HEADER.pack(
+            self.sender, self.recipient, self.amount, self.fee, self.nonce,
+            self.next_key,
+        )
+
+    def tx_id(self) -> bytes:
+        """Identity hash (over the payload; signatures are malleable-free
+        here but excluding them matches convention)."""
+        return hashlib.sha256(hashlib.sha256(self.payload()).digest()).digest()
+
+    def serialize(self) -> bytes:
+        return self.payload() + self.signature
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Transaction":
+        if len(data) != TRANSACTION_BYTES:
+            raise ChainError(
+                f"transaction must be {TRANSACTION_BYTES} bytes, got {len(data)}"
+            )
+        sender, recipient, amount, fee, nonce, next_key = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            amount=amount,
+            fee=fee,
+            nonce=nonce,
+            next_key=next_key,
+            signature=data[_HEADER.size :],
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        wallet: Wallet,
+        recipient: bytes,
+        amount: int,
+        fee: int,
+        nonce: int,
+    ) -> "Transaction":
+        """Build and sign a transfer from ``wallet`` at ``nonce``."""
+        unsigned = _HEADER.pack(
+            wallet.address, recipient, amount, fee, nonce,
+            wallet.address_for(nonce + 1),
+        )
+        signature = wallet.sign(nonce, unsigned)
+        return cls(
+            sender=wallet.address,
+            recipient=recipient,
+            amount=amount,
+            fee=fee,
+            nonce=nonce,
+            next_key=wallet.address_for(nonce + 1),
+            signature=signature,
+        )
+
+    def verify_signature(self, expected_key: bytes) -> bool:
+        """Check the signature against the ledger's expected key address."""
+        return verify(expected_key, self.payload(), self.signature)

@@ -1,0 +1,292 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro hash "some block header"
+    python -m repro verify "some block header" <digest-hex>
+    python -m repro widget <seed-or-text> [--asm]
+    python -m repro profile leela
+    python -m repro workloads
+    python -m repro mine --difficulty 4 --blocks 2
+    python -m repro simulate --hashrates 100,50,25 --blocks 500
+
+Every command is a thin shell over the library; ``main(argv)`` returns an
+exit code and is exercised directly by the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.hashcore import HashCore
+from repro.core.seed import HashSeed
+from repro.errors import ReproError
+from repro.machine.config import PRESETS, preset
+from repro.machine.cpu import Machine
+from repro.widgetgen.params import GeneratorParams
+
+
+def _params(args) -> GeneratorParams:
+    return GeneratorParams(
+        target_instructions=args.instructions,
+        snapshot_interval=max(1, args.instructions // 120),
+    )
+
+
+def _machine(args) -> Machine:
+    return Machine(preset(args.machine))
+
+
+def _profile(args):
+    if args.profile is None:
+        return None  # HashCore default (the baked Leela consensus profile)
+    from repro.profiling.profile import PerformanceProfile
+
+    with open(args.profile, encoding="utf-8") as handle:
+        return PerformanceProfile.from_json(handle.read())
+
+
+def _hashcore(args) -> HashCore:
+    return HashCore(
+        profile=_profile(args),
+        machine=_machine(args),
+        params=_params(args),
+        widgets_per_hash=args.widgets,
+    )
+
+
+def cmd_hash(args) -> int:
+    """Compute and display one HashCore evaluation."""
+    hashcore = _hashcore(args)
+    start = time.perf_counter()
+    trace = hashcore.hash_with_trace(args.data.encode())
+    elapsed = time.perf_counter() - start
+    print(f"seed   : {trace.seed.hex}")
+    for widget, result in zip(trace.widgets, trace.results):
+        print(
+            f"widget : {widget.name}  retired={result.counters.retired:,} "
+            f"ipc={result.counters.ipc:.2f} output={result.output_size:,}B"
+        )
+    print(f"digest : {trace.digest.hex()}")
+    print(f"time   : {elapsed:.2f}s")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Verify a digest by recomputation."""
+    hashcore = _hashcore(args)
+    try:
+        digest = bytes.fromhex(args.digest)
+    except ValueError:
+        print("error: digest must be hex", file=sys.stderr)
+        return 2
+    if hashcore.verify(args.data.encode(), digest):
+        print("OK: digest verifies")
+        return 0
+    print("FAIL: digest does not verify")
+    return 1
+
+
+def cmd_widget(args) -> int:
+    """Generate, inspect, and execute the widget a seed selects."""
+    try:
+        seed = HashSeed.from_hex(args.seed)
+    except (ValueError, ReproError):
+        # Not hex: derive the seed by gating the text, like hash() does.
+        from repro.core.hash_gate import hash_gate
+
+        seed = HashSeed(hash_gate(args.seed.encode()))
+    hashcore = _hashcore(args)
+    widget = hashcore.widget_for(seed)
+    spec = widget.spec
+    print(f"widget    : {widget.name}")
+    print(f"seed      : {seed.hex}")
+    print(f"blocks    : {len(spec.blocks)}  loops: {len(spec.loops)}  "
+          f"outer trips: {spec.outer_trips}")
+    print(f"code size : {widget.code_bytes():,} bytes "
+          f"({len(widget.program)} instructions)")
+    print(f"memory    : hot {spec.plan.hot_words * 8 // 1024}KB, "
+          f"cold {spec.plan.cold_words * 8 // 1024}KB, "
+          f"ring {spec.plan.ring_words * 8 // 1024}KB")
+    result = widget.execute(hashcore.machine)
+    counters = result.counters
+    print(f"executed  : {counters.retired:,} instructions, ipc={counters.ipc:.2f}, "
+          f"branch acc={counters.branch_accuracy:.3f}, "
+          f"output={result.output_size:,}B")
+    if args.asm:
+        from repro.isa.assembler import disassemble
+
+        print("\n" + disassemble(widget.program))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile a reference workload and print the JSON profile."""
+    from repro.profiling.profiler import profile_workload
+    from repro.workloads.suite import get_workload
+
+    profile = profile_workload(get_workload(args.workload), _machine(args))
+    print(profile.to_json())
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """List the reference workload suite."""
+    from repro.workloads.suite import SUITE
+
+    for name, cls in sorted(SUITE.items()):
+        print(f"{name:<10s} {cls.description:<42s} (~{cls.spec_counterpart})")
+    return 0
+
+
+def cmd_mine(args) -> int:
+    """Mine a short fully-validated HashCore chain."""
+    from repro.blockchain.block import Block
+    from repro.blockchain.chain import Blockchain
+    from repro.blockchain.difficulty import RetargetSchedule
+    from repro.blockchain.miner import mine_block
+    from repro.core.pow import difficulty_to_target, target_to_compact
+
+    hashcore = _hashcore(args)
+    bits = target_to_compact(difficulty_to_target(args.difficulty))
+    chain = Blockchain(hashcore, genesis_bits=bits,
+                       schedule=RetargetSchedule(interval=10_000))
+    for height in range(1, args.blocks + 1):
+        block = Block.build(
+            prev_hash=chain.tip_id,
+            transactions=[f"coinbase-{height}".encode()],
+            timestamp=30 * height,
+            bits=chain.expected_bits(chain.tip_id),
+        )
+        start = time.perf_counter()
+        mined = mine_block(block, hashcore,
+                           max_attempts=int(args.difficulty * 100))
+        chain.add_block(mined.block)
+        print(
+            f"height {height}: nonce={mined.block.header.nonce} "
+            f"attempts={mined.attempts} time={time.perf_counter()-start:.1f}s "
+            f"digest={mined.digest.hex()[:24]}…"
+        )
+    print(f"chain height {chain.height()}, total work {chain.total_work():.1f}")
+    return 0
+
+
+def cmd_pool(args) -> int:
+    """Build a widget pool and report the §VI-A selection stats."""
+    from repro.core.default_profile import default_profile
+    from repro.widgetgen.pool import WidgetPool
+
+    profile = _profile(args) or default_profile()
+    pool = WidgetPool(profile, _params(args), pool_size=args.size)
+    mean = pool.storage_bytes() / len(pool)
+    print(f"pool size      : {len(pool)} widgets")
+    print(f"storage        : {pool.storage_bytes():,} bytes "
+          f"({mean:.0f} bytes/widget)")
+    print(f"fingerprint    : {pool.fingerprint()}")
+    print(f"SPEC-scale pool: ~{mean * 430_000 / 1e6:.0f} MB "
+          "(430k-widget corpus, cf. §VI-A 'several gigabytes')")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Run the statistical mining-network simulator."""
+    from repro.blockchain.difficulty import RetargetSchedule
+    from repro.blockchain.network import simulate_network
+
+    hashrates = [float(x) for x in args.hashrates.split(",")]
+    schedule = RetargetSchedule(block_time=args.block_time)
+    result = simulate_network(
+        hashrates, args.blocks, schedule,
+        initial_difficulty=args.initial_difficulty, seed=args.seed,
+    )
+    shares = result.miner_shares(len(hashrates))
+    print(json.dumps({
+        "blocks": len(result.block_times),
+        "mean_block_time": round(result.mean_block_time(), 2),
+        "final_difficulty": round(result.difficulties[-1], 1),
+        "miner_shares": [round(s, 4) for s in shares],
+        "orphan_candidates": result.orphan_candidates,
+    }, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HashCore (ICDCS 2019) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--machine", choices=sorted(PRESETS), default="ivy-bridge",
+        help="simulated GPP preset",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=20_000,
+        help="target dynamic instructions per widget",
+    )
+    parser.add_argument(
+        "--widgets", type=int, default=1, help="widgets per hash (sequential)"
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="JSON",
+        help="performance-profile JSON (from `repro profile <workload>`); "
+        "default: the baked Leela consensus profile",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("hash", help="compute H(data)")
+    p.add_argument("data")
+    p.set_defaults(fn=cmd_hash)
+
+    p = sub.add_parser("verify", help="verify a digest by recomputation")
+    p.add_argument("data")
+    p.add_argument("digest")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("widget", help="inspect the widget a seed selects")
+    p.add_argument("seed", help="64-hex-char seed, or any text to gate")
+    p.add_argument("--asm", action="store_true", help="print disassembly")
+    p.set_defaults(fn=cmd_widget)
+
+    p = sub.add_parser("profile", help="profile a reference workload (JSON)")
+    p.add_argument("workload")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("workloads", help="list the reference workload suite")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("mine", help="mine a short HashCore chain")
+    p.add_argument("--difficulty", type=float, default=4.0)
+    p.add_argument("--blocks", type=int, default=2)
+    p.set_defaults(fn=cmd_mine)
+
+    p = sub.add_parser("pool", help="build a widget pool and report §VI-A stats")
+    p.add_argument("--size", type=int, default=16)
+    p.set_defaults(fn=cmd_pool)
+
+    p = sub.add_parser("simulate", help="statistical mining-network study")
+    p.add_argument("--hashrates", default="100,50,25")
+    p.add_argument("--blocks", type=int, default=500)
+    p.add_argument("--block-time", type=float, default=30.0)
+    p.add_argument("--initial-difficulty", type=float, default=1000.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

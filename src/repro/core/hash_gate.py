@@ -1,0 +1,53 @@
+"""Hash gates — the cryptographic glue of HashCore (§IV).
+
+A hash gate maps arbitrary-length input to a fixed-size digest and provides
+the pre-image / second-pre-image / collision resistance HashCore inherits
+(Theorem 1).  The paper instantiates gates with SHA-256 and notes the choice
+is modular; :class:`HashGate` keeps that modularity (the collision-resistance
+reduction tests instantiate deliberately *weak* gates to exercise the proof's
+reduction algorithm).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+#: Output size of the default (SHA-256) hash gate, in bytes.
+HASH_GATE_BYTES = 32
+
+
+def hash_gate(data: bytes) -> bytes:
+    """The default hash gate ``G``: SHA-256."""
+    return hashlib.sha256(data).digest()
+
+
+class HashGate:
+    """A pluggable hash gate.
+
+    ``fn`` must be a deterministic function of its input bytes.  The default
+    is SHA-256, matching the paper's implementation assumption of a 256-bit
+    gate output.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[bytes], bytes] = hash_gate,
+        digest_size: int = HASH_GATE_BYTES,
+        name: str = "sha256",
+    ) -> None:
+        self._fn = fn
+        self.digest_size = digest_size
+        self.name = name
+
+    def __call__(self, data: bytes) -> bytes:
+        digest = self._fn(data)
+        if len(digest) != self.digest_size:
+            raise ValueError(
+                f"hash gate {self.name!r} returned {len(digest)} bytes, "
+                f"declared {self.digest_size}"
+            )
+        return digest
+
+    def __repr__(self) -> str:
+        return f"HashGate({self.name}, {self.digest_size * 8} bits)"

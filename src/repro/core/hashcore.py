@@ -1,0 +1,163 @@
+"""HashCore: the complete PoW function (§IV, Figure 1).
+
+::
+
+    s = G(x)              # hash gate -> 256-bit hash seed
+    w = W(s)              # generate widget from s, compile, execute,
+                          #   collect register-snapshot output
+    H(x) = G(s || w)      # hash gate over seed || widget output
+
+The hash seed appears in the second gate's input, which is what makes the
+collision-resistance reduction work no matter what ``W`` does (Theorem 1 —
+implemented and machine-checked in :mod:`repro.analysis.reduction`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.hash_gate import HashGate
+from repro.core.seed import HashSeed
+from repro.core.widget import Widget, WidgetResult
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import Machine
+from repro.profiling.profile import PerformanceProfile
+from repro.widgetgen.generator import WidgetGenerator
+from repro.widgetgen.params import GeneratorParams
+
+
+@dataclass(slots=True)
+class HashCoreTrace:
+    """All intermediate artifacts of one HashCore evaluation — exposed for
+    experiments and debugging; ``digest`` is what the chain consumes.
+
+    ``widget``/``result`` are the first (often only) widget of the
+    evaluation; with ``widgets_per_hash > 1`` (§IV: "multiple widgets could
+    be generated for a given input string and executed sequentially"),
+    ``widgets``/``results`` carry the full sequence.
+    """
+
+    seed: HashSeed
+    widget: Widget
+    result: WidgetResult
+    digest: bytes
+    widgets: list[Widget] = None  # type: ignore[assignment]
+    results: list[WidgetResult] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.widgets is None:
+            self.widgets = [self.widget]
+        if self.results is None:
+            self.results = [self.result]
+
+
+class HashCore:
+    """The HashCore PoW function.
+
+    The consensus parameters are the profile, the generator parameters, the
+    gate, and the machine's *memory size* (addresses wrap modulo it): two
+    miners sharing those always compute the same ``hash(x)`` — verification
+    *is* recomputation, as with any PoW function.  The machine's
+    *microarchitecture* (width, caches, predictor) affects only how fast
+    the hash is computed, never its value: the widget output is purely
+    architectural state, which is what lets x86 desktops and ARM phones
+    (§VI-B) participate in one network.
+
+    Arguments default to the paper's setup: the Leela profile on the
+    Ivy-Bridge-like machine with SHA-256 gates.
+    """
+
+    name = "hashcore"
+
+    def __init__(
+        self,
+        profile: PerformanceProfile | None = None,
+        machine: Machine | MachineConfig | None = None,
+        params: GeneratorParams | None = None,
+        gate: HashGate | None = None,
+        widgets_per_hash: int = 1,
+        widget_cache_size: int = 0,
+    ) -> None:
+        if profile is None:
+            from repro.core.default_profile import default_profile
+
+            profile = default_profile()
+        if machine is None:
+            machine = Machine()
+        elif isinstance(machine, MachineConfig):
+            machine = Machine(machine)
+        if widgets_per_hash < 1:
+            raise ValueError("widgets_per_hash must be >= 1")
+        if widget_cache_size < 0:
+            raise ValueError("widget_cache_size must be >= 0")
+        self.profile = profile
+        self.machine = machine
+        self.gate = gate or HashGate()
+        self.generator = WidgetGenerator(profile, params)
+        self.widgets_per_hash = widgets_per_hash
+        # Verifiers re-derive the same widget for every nonce attempt on a
+        # header and for every block re-validation; a small LRU of compiled
+        # widgets keyed by seed skips the generate+compile step (it cannot
+        # skip execution — that *is* the proof of work).
+        self._cache_size = widget_cache_size
+        self._widget_cache: dict[bytes, Widget] = {}
+
+    # ------------------------------------------------------------------
+    def seed_of(self, data: bytes) -> HashSeed:
+        """First hash gate: derive the hash seed for an input."""
+        return HashSeed(self.gate(data))
+
+    def widget_for(self, seed: HashSeed) -> Widget:
+        """Generate and compile the widget selected by ``seed`` (cached
+        when ``widget_cache_size > 0``)."""
+        if self._cache_size == 0:
+            return self.generator.widget(seed)
+        cached = self._widget_cache.get(seed.raw)
+        if cached is not None:
+            # Refresh LRU position (dict preserves insertion order).
+            del self._widget_cache[seed.raw]
+            self._widget_cache[seed.raw] = cached
+            return cached
+        widget = self.generator.widget(seed)
+        self._widget_cache[seed.raw] = widget
+        if len(self._widget_cache) > self._cache_size:
+            del self._widget_cache[next(iter(self._widget_cache))]
+        return widget
+
+    def hash(self, data: bytes) -> bytes:
+        """Compute ``H(data) = G(s || W(s))``."""
+        return self.hash_with_trace(data).digest
+
+    def hash_with_trace(self, data: bytes) -> HashCoreTrace:
+        """Compute the hash and return every intermediate artifact.
+
+        With ``widgets_per_hash > 1``, widget *i* (for i >= 1) derives its
+        sub-seed as ``G(s || i)`` and the outputs are concatenated in
+        sequence — the sequential multi-widget variant of §IV.
+        """
+        seed = self.seed_of(data)
+        widgets = [self.widget_for(seed)]
+        for index in range(1, self.widgets_per_hash):
+            sub_seed = HashSeed(self.gate(seed.raw + struct.pack("<I", index)))
+            widgets.append(self.widget_for(sub_seed))
+        results = [widget.execute(self.machine) for widget in widgets]
+        digest = self.gate(seed.raw + b"".join(result.output for result in results))
+        return HashCoreTrace(
+            seed=seed,
+            widget=widgets[0],
+            result=results[0],
+            digest=digest,
+            widgets=widgets,
+            results=results,
+        )
+
+    def verify(self, data: bytes, digest: bytes) -> bool:
+        """Check a claimed digest by full recomputation.
+
+        HashCore is deliberately *not* a cheaply verifiable PoW: a verifier
+        must run the widget too (§IV-B lists the three programs every
+        evaluation runs).  The cost is one hash evaluation, the same as for
+        the miner's single attempt.
+        """
+        return self.hash(data) == digest

@@ -1,0 +1,110 @@
+"""Proof-of-work target arithmetic and the PoW-function interface.
+
+A hash meets a proof-of-work *target* when, interpreted as a 256-bit
+big-endian integer, it is at most the target ("some statistically unlikely
+structural requirement, such as some number of leading zeros", §I).
+Difficulty is the conventional reciprocal measure.  Targets travel in block
+headers in Bitcoin's compact "nBits" form, implemented here so the
+blockchain substrate round-trips real-looking headers.
+
+:class:`PowFunction` is the small interface HashCore and every baseline
+implement, letting the miner, chain validation, and the ASIC-advantage
+experiments treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import PowError
+
+#: The easiest possible target (every 256-bit hash qualifies).
+MAX_TARGET = (1 << 256) - 1
+
+HASH_BITS = 256
+
+
+@runtime_checkable
+class PowFunction(Protocol):
+    """A proof-of-work function: header bytes in, 32-byte digest out."""
+
+    name: str
+
+    def hash(self, data: bytes) -> bytes:  # pragma: no cover - protocol
+        """Compute the PoW digest of ``data``."""
+        ...
+
+
+def hash_to_int(digest: bytes) -> int:
+    """Interpret a 32-byte digest as a big-endian 256-bit integer."""
+    if len(digest) != 32:
+        raise PowError(f"PoW digest must be 32 bytes, got {len(digest)}")
+    return int.from_bytes(digest, "big")
+
+
+def meets_target(digest: bytes, target: int) -> bool:
+    """True when ``digest`` satisfies ``target``."""
+    if not 0 < target <= MAX_TARGET:
+        raise PowError(f"target {target:#x} out of range")
+    return hash_to_int(digest) <= target
+
+
+def difficulty_to_target(difficulty: float) -> int:
+    """Target whose expected attempts-per-solution equal ``difficulty``."""
+    if difficulty < 1.0:
+        raise PowError(f"difficulty must be >= 1, got {difficulty}")
+    return min(MAX_TARGET, int(MAX_TARGET / difficulty))
+
+
+def target_to_difficulty(target: int) -> float:
+    """Expected hash attempts needed to meet ``target``."""
+    if not 0 < target <= MAX_TARGET:
+        raise PowError(f"target {target:#x} out of range")
+    return MAX_TARGET / target
+
+
+def target_to_compact(target: int) -> int:
+    """Encode a target in Bitcoin's compact 'nBits' representation.
+
+    ``compact = (exponent << 24) | mantissa`` where
+    ``target ≈ mantissa * 256**(exponent - 3)`` and the mantissa keeps its
+    top bit clear (the sign convention of the original format).
+    """
+    if not 0 < target <= MAX_TARGET:
+        raise PowError(f"target {target:#x} out of range")
+    size = (target.bit_length() + 7) // 8
+    if size <= 3:
+        mantissa = target << (8 * (3 - size))
+    else:
+        mantissa = target >> (8 * (size - 3))
+    if mantissa & 0x800000:
+        mantissa >>= 8
+        size += 1
+    return (size << 24) | mantissa
+
+
+def compact_to_target(compact: int) -> int:
+    """Decode a compact 'nBits' value back to a full target."""
+    size = compact >> 24
+    mantissa = compact & 0x007FFFFF
+    if compact & 0x00800000:
+        raise PowError(f"negative compact target {compact:#x}")
+    if mantissa == 0:
+        raise PowError(f"zero mantissa in compact target {compact:#x}")
+    if size <= 3:
+        target = mantissa >> (8 * (3 - size))
+    else:
+        target = mantissa << (8 * (size - 3))
+    if target == 0:
+        raise PowError(f"compact target {compact:#x} decodes to zero")
+    if target > MAX_TARGET:
+        raise PowError(f"compact target {compact:#x} exceeds 2^256")
+    return target
+
+
+def leading_zero_bits(digest: bytes) -> int:
+    """Number of leading zero bits — the paper's example PoW criterion."""
+    value = hash_to_int(digest)
+    if value == 0:
+        return HASH_BITS
+    return HASH_BITS - value.bit_length()

@@ -1,0 +1,97 @@
+"""The 256-bit hash seed and its Table I field split.
+
+The output of the first hash gate is used as the *hash seed*: it is split
+into eight 32-bit integers that perturb the performance profile and seed the
+generator's PRNGs (paper Table I):
+
+====== ==========================
+bits   usage
+====== ==========================
+0-31   Integer ALU
+32-63  Integer Multiply
+64-95  Floating Point ALU
+96-127 Loads
+128-159 Stores
+160-191 Branch Behavior
+192-223 Basic Block Vector Seed
+224-255 Memory Seed
+====== ==========================
+
+Bit ``k`` of the seed is bit ``k % 8`` of byte ``k // 8`` of the gate
+digest, so field *i* is the little-endian u32 at bytes ``4i..4i+4``.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PowError
+
+#: Seed length in bytes (one hash-gate digest).
+SEED_BYTES = 32
+
+_FIELDS = struct.Struct("<8I")
+
+
+class SeedField(enum.IntEnum):
+    """Index of each 32-bit seed field, in Table I order."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    LOADS = 3
+    STORES = 4
+    BRANCH_BEHAVIOR = 5
+    BBV_SEED = 6
+    MEMORY_SEED = 7
+
+
+@dataclass(frozen=True, slots=True)
+class HashSeed:
+    """A parsed 256-bit hash seed."""
+
+    raw: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.raw) != SEED_BYTES:
+            raise PowError(f"hash seed must be {SEED_BYTES} bytes, got {len(self.raw)}")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "HashSeed":
+        return cls(bytes.fromhex(text))
+
+    @classmethod
+    def from_fields(cls, fields: list[int] | tuple[int, ...]) -> "HashSeed":
+        """Build a seed from eight u32 field values (used by tests to vary
+        one Table I field in isolation)."""
+        if len(fields) != 8:
+            raise PowError(f"need 8 fields, got {len(fields)}")
+        return cls(_FIELDS.pack(*(f & 0xFFFFFFFF for f in fields)))
+
+    # ------------------------------------------------------------------
+    def fields(self) -> tuple[int, ...]:
+        """All eight 32-bit fields, in Table I order."""
+        return _FIELDS.unpack(self.raw)
+
+    def field(self, which: SeedField) -> int:
+        """One 32-bit field."""
+        return struct.unpack_from("<I", self.raw, 4 * int(which))[0]
+
+    def fraction(self, which: SeedField) -> float:
+        """Field value scaled to ``[0, 1)`` — the noise magnitude."""
+        return self.field(which) / 2**32
+
+    def with_field(self, which: SeedField, value: int) -> "HashSeed":
+        """Copy of this seed with one field replaced."""
+        fields = list(self.fields())
+        fields[int(which)] = value & 0xFFFFFFFF
+        return HashSeed.from_fields(fields)
+
+    @property
+    def hex(self) -> str:
+        return self.raw.hex()
+
+    def __str__(self) -> str:
+        return f"HashSeed({self.hex[:16]}…)"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the HashCore reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing unrelated
+bugs (``except Exception`` is never required).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AssemblyError(ReproError):
+    """A textual assembly program could not be parsed or resolved."""
+
+
+class EncodingError(ReproError):
+    """An instruction or program could not be encoded or decoded."""
+
+
+class ExecutionError(ReproError):
+    """The simulated machine hit an unrecoverable fault (bad opcode, fuse)."""
+
+
+class ExecutionLimitExceeded(ExecutionError):
+    """The instruction fuse tripped before the program halted."""
+
+
+class GenerationError(ReproError):
+    """The widget generator could not produce a valid widget."""
+
+
+class ProfileError(ReproError):
+    """A performance profile is malformed or inconsistent."""
+
+
+class PowError(ReproError):
+    """Proof-of-work parameters or solutions are invalid."""
+
+
+class ChainError(ReproError):
+    """A block or chain failed consensus validation."""
+
+
+class ConfigError(ReproError):
+    """A machine or generator configuration is invalid."""

@@ -1,0 +1,62 @@
+"""Synthetic GPP instruction-set architecture.
+
+The paper's widgets are x86 programs produced by GCC.  A pure-Python
+reproduction cannot execute native x86, so this subpackage defines a compact
+x86-*like* register ISA with the same resource classes the paper targets
+(Table I): integer ALU, integer multiply, floating point, loads, stores,
+branch behaviour, plus a small vector extension.  Widgets, the reference
+workloads, and the RandomX-like baseline are all programs in this ISA, and
+the :mod:`repro.machine` simulator plays the role of the physical CPU.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Opcode` / :class:`~repro.isa.opcodes.OpClass`
+* :class:`~repro.isa.instructions.Instruction`
+* :class:`~repro.isa.program.Program`
+* :func:`~repro.isa.encoding.encode_program` / ``decode_program``
+* :func:`~repro.isa.assembler.assemble` / ``disassemble``
+* :class:`~repro.isa.builder.ProgramBuilder`
+"""
+
+from repro.isa.opcodes import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_VEC_REGS,
+    VEC_LANES,
+    OpClass,
+    Opcode,
+    opcode_class,
+    opcode_name,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.isa.encoding import (
+    INSTRUCTION_SIZE,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.builder import ProgramBuilder
+
+__all__ = [
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_VEC_REGS",
+    "VEC_LANES",
+    "OpClass",
+    "Opcode",
+    "opcode_class",
+    "opcode_name",
+    "Instruction",
+    "Program",
+    "INSTRUCTION_SIZE",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "decode_program",
+    "assemble",
+    "disassemble",
+    "ProgramBuilder",
+]

@@ -1,0 +1,314 @@
+"""Structured program builder.
+
+Hand-writing list-of-:class:`Instruction` programs is error-prone, so the
+reference workloads (:mod:`repro.workloads`) and the widget code generator
+(:mod:`repro.widgetgen.codegen`) construct programs through this builder.
+It provides:
+
+* one emit method per opcode (``b.add(1, 2, 3)`` emits ``ADD r1, r2, r3``),
+* symbolic labels with forward-reference patching,
+* ``with b.loop(reg, count):`` counted-loop blocks (``MOVI`` + ``LOOPNZ``),
+* ``with b.if_*(ra, rb):`` conditional blocks (inverted branch over body).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+# Branch inversions used by the if_* helpers: to execute the body when the
+# condition holds, emit the *opposite* branch over the body.
+_INVERSE = {
+    Opcode.BEQ: Opcode.BNE,
+    Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE,
+    Opcode.BGE: Opcode.BLT,
+}
+
+
+class ProgramBuilder:
+    """Incrementally build a validated :class:`Program`."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []  # (instruction index, label)
+        self._auto_label = 0
+
+    # ------------------------------------------------------------------
+    # label handling
+    # ------------------------------------------------------------------
+    def label(self, name: str | None = None) -> str:
+        """Define a label at the current position; returns its name."""
+        if name is None:
+            name = f"__L{self._auto_label}"
+            self._auto_label += 1
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def _target(self, target: str | int) -> int:
+        """Resolve a branch target now, or record a fixup for later."""
+        if isinstance(target, int):
+            return target
+        if target in self._labels:
+            return self._labels[target]
+        self._fixups.append((len(self._instructions), target))
+        return 0  # patched in build()
+
+    # ------------------------------------------------------------------
+    # raw emit
+    # ------------------------------------------------------------------
+    def emit(self, op: Opcode, a: int = 0, b: int = 0, c: int = 0, imm: int = 0) -> None:
+        """Append one instruction (no validation until :meth:`build`)."""
+        self._instructions.append(Instruction(int(op), a, b, c, imm))
+
+    # --- integer ALU ---------------------------------------------------
+    def add(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.ADD, a, b, c)
+
+    def sub(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.SUB, a, b, c)
+
+    def and_(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.AND, a, b, c)
+
+    def or_(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.OR, a, b, c)
+
+    def xor(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.XOR, a, b, c)
+
+    def shl(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.SHL, a, b, c)
+
+    def shr(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.SHR, a, b, c)
+
+    def addi(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.ADDI, a, b, imm=imm)
+
+    def andi(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.ANDI, a, b, imm=imm)
+
+    def ori(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.ORI, a, b, imm=imm)
+
+    def xori(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.XORI, a, b, imm=imm)
+
+    def shli(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.SHLI, a, b, imm=imm)
+
+    def shri(self, a: int, b: int, imm: int) -> None:
+        self.emit(Opcode.SHRI, a, b, imm=imm)
+
+    def mov(self, a: int, b: int) -> None:
+        self.emit(Opcode.MOV, a, b)
+
+    def movi(self, a: int, imm: int) -> None:
+        self.emit(Opcode.MOVI, a, imm=imm)
+
+    def not_(self, a: int, b: int) -> None:
+        self.emit(Opcode.NOT, a, b)
+
+    def cmplt(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.CMPLT, a, b, c)
+
+    def cmpeq(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.CMPEQ, a, b, c)
+
+    def min_(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.MIN, a, b, c)
+
+    def max_(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.MAX, a, b, c)
+
+    # --- integer multiply ------------------------------------------------
+    def mul(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.MUL, a, b, c)
+
+    def mulhi(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.MULHI, a, b, c)
+
+    def div(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.DIV, a, b, c)
+
+    def mod(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.MOD, a, b, c)
+
+    # --- floating point --------------------------------------------------
+    def fadd(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FADD, a, b, c)
+
+    def fsub(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FSUB, a, b, c)
+
+    def fmul(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FMUL, a, b, c)
+
+    def fdiv(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FDIV, a, b, c)
+
+    def fmin(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FMIN, a, b, c)
+
+    def fmax(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FMAX, a, b, c)
+
+    def fabs(self, a: int, b: int) -> None:
+        self.emit(Opcode.FABS, a, b)
+
+    def fneg(self, a: int, b: int) -> None:
+        self.emit(Opcode.FNEG, a, b)
+
+    def fma(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.FMA, a, b, c)
+
+    def cvtif(self, a: int, b: int) -> None:
+        self.emit(Opcode.CVTIF, a, b)
+
+    def cvtfi(self, a: int, b: int) -> None:
+        self.emit(Opcode.CVTFI, a, b)
+
+    # --- memory ------------------------------------------------------------
+    def load(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.LOAD, a, base, imm=offset)
+
+    def fload(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.FLOAD, a, base, imm=offset)
+
+    def store(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.STORE, a, base, imm=offset)
+
+    def fstore(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.FSTORE, a, base, imm=offset)
+
+    # --- control -------------------------------------------------------------
+    def beq(self, a: int, b: int, target: str | int) -> None:
+        self.emit(Opcode.BEQ, a, b, imm=self._target(target))
+
+    def bne(self, a: int, b: int, target: str | int) -> None:
+        self.emit(Opcode.BNE, a, b, imm=self._target(target))
+
+    def blt(self, a: int, b: int, target: str | int) -> None:
+        self.emit(Opcode.BLT, a, b, imm=self._target(target))
+
+    def bge(self, a: int, b: int, target: str | int) -> None:
+        self.emit(Opcode.BGE, a, b, imm=self._target(target))
+
+    def jmp(self, target: str | int) -> None:
+        self.emit(Opcode.JMP, imm=self._target(target))
+
+    def loopnz(self, a: int, target: str | int) -> None:
+        self.emit(Opcode.LOOPNZ, a, imm=self._target(target))
+
+    # --- vector --------------------------------------------------------------
+    def vadd(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.VADD, a, b, c)
+
+    def vmul(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.VMUL, a, b, c)
+
+    def vfma(self, a: int, b: int, c: int) -> None:
+        self.emit(Opcode.VFMA, a, b, c)
+
+    def vload(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.VLOAD, a, base, imm=offset)
+
+    def vstore(self, a: int, base: int, offset: int = 0) -> None:
+        self.emit(Opcode.VSTORE, a, base, imm=offset)
+
+    def vbroadcast(self, a: int, b: int) -> None:
+        self.emit(Opcode.VBROADCAST, a, b)
+
+    def vreduce(self, a: int, b: int) -> None:
+        self.emit(Opcode.VREDUCE, a, b)
+
+    # --- system ----------------------------------------------------------------
+    def nop(self) -> None:
+        self.emit(Opcode.NOP)
+
+    def halt(self) -> None:
+        self.emit(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    # structured control flow
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, counter: int, count: int | None = None) -> Iterator[None]:
+        """Counted loop: optionally initialise ``r[counter] = count``, run the
+        body, then ``LOOPNZ`` back to the top.
+
+        The body executes ``count`` times (``count >= 1``).  Pass
+        ``count=None`` when the counter register is already initialised.
+        """
+        if count is not None:
+            if count < 1:
+                raise AssemblyError(f"loop count must be >= 1, got {count}")
+            self.movi(counter, count)
+        top = self.label()
+        yield
+        self.loopnz(counter, top)
+
+    @contextlib.contextmanager
+    def _conditional(self, op: Opcode, a: int, b: int) -> Iterator[None]:
+        skip = f"__skip{self._auto_label}"
+        self._auto_label += 1
+        self.emit(_INVERSE[op], a, b, imm=self._target(skip))
+        yield
+        self.label(skip)
+
+    def if_eq(self, a: int, b: int):
+        """Execute the body when ``r[a] == r[b]``."""
+        return self._conditional(Opcode.BEQ, a, b)
+
+    def if_ne(self, a: int, b: int):
+        """Execute the body when ``r[a] != r[b]``."""
+        return self._conditional(Opcode.BNE, a, b)
+
+    def if_lt(self, a: int, b: int):
+        """Execute the body when ``r[a] < r[b]`` (unsigned)."""
+        return self._conditional(Opcode.BLT, a, b)
+
+    def if_ge(self, a: int, b: int):
+        """Execute the body when ``r[a] >= r[b]`` (unsigned)."""
+        return self._conditional(Opcode.BGE, a, b)
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def build(self, auto_halt: bool = True) -> Program:
+        """Patch forward references, validate, and return the program.
+
+        With ``auto_halt`` (the default) a ``HALT`` is appended when the
+        program does not already end in one; this also gives labels defined
+        at the very end of the program a real instruction to land on.
+        """
+        if auto_halt and (
+            not self._instructions
+            or self._instructions[-1].op != int(Opcode.HALT)
+            or any(index >= len(self._instructions) for index in self._labels.values())
+        ):
+            self.emit(Opcode.HALT)
+        unresolved = [label for _, label in self._fixups if label not in self._labels]
+        if unresolved:
+            raise AssemblyError(f"unresolved labels: {sorted(set(unresolved))}")
+        instructions = list(self._instructions)
+        for index, label in self._fixups:
+            old = instructions[index]
+            instructions[index] = Instruction(old.op, old.a, old.b, old.c, self._labels[label])
+        program = Program(instructions=instructions, name=self.name, labels=dict(self._labels))
+        program.validate()
+        return program

@@ -1,0 +1,281 @@
+"""Control-flow graph, liveness analysis, and dead-code elimination.
+
+This is the reproduction's *reduction adversary* for §IV-A's
+irreducibility requirement: "the widget should also be irreducible in the
+sense that certain code segments cannot be skipped and the output cannot
+be predicted without full execution".  A would-be ASIC designer's first
+move against generated code is classical compiler analysis — build the
+CFG, run backward liveness, delete instructions whose results are never
+observed.  The E12 bench runs exactly that attack on widgets and measures
+how little survives deletion:
+
+* with register snapshots (HashCore's output mechanism) every register is
+  observable at every dynamic point, so nothing is removable;
+* even if only the *final* architectural state were observed, the
+  generator's dependency chaining leaves almost nothing dead.
+
+The analyses are standard and conservative: stores, branches and ``HALT``
+are always side-effecting; loads are removable only when their value is
+dead (the architectural state, not timing, is what an attacker must
+reproduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import BRANCH_OPCODES, Opcode
+from repro.isa.program import Program
+
+#: Register namespaces.
+INT, FP, VEC = "r", "f", "v"
+
+_ALL_INT = frozenset((INT, i) for i in range(16))
+_ALL_FP = frozenset((FP, i) for i in range(16))
+_ALL_VEC = frozenset((VEC, i) for i in range(8))
+
+#: Every architectural register (the live-out set of a snapshotted widget;
+#: vector registers are folded into FP state by the widget epilogue but an
+#: attacker must still reproduce them mid-run, so they are included).
+ALL_REGS = frozenset(_ALL_INT | _ALL_FP | _ALL_VEC)
+
+#: Registers captured by output snapshots (int + fp files).
+SNAPSHOT_REGS = frozenset(_ALL_INT | _ALL_FP)
+
+
+def uses_defs(ins: Instruction) -> tuple[set, set]:
+    """(uses, defs) register sets of one instruction."""
+    op = Opcode(ins.op)
+    name = op.name
+    a, b, c = ins.a, ins.b, ins.c
+    # Three-register integer ops.
+    if name in ("ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "CMPLT",
+                "CMPEQ", "MIN", "MAX", "MUL", "MULHI", "DIV", "MOD"):
+        return {(INT, b), (INT, c)}, {(INT, a)}
+    if name in ("ADDI", "ANDI", "ORI", "XORI", "SHLI", "SHRI", "MOV", "NOT"):
+        return {(INT, b)}, {(INT, a)}
+    if name == "MOVI":
+        return set(), {(INT, a)}
+    if name in ("FADD", "FSUB", "FMUL", "FDIV", "FMIN", "FMAX"):
+        return {(FP, b), (FP, c)}, {(FP, a)}
+    if name in ("FABS", "FNEG"):
+        return {(FP, b)}, {(FP, a)}
+    if name == "FMA":
+        return {(FP, a), (FP, b), (FP, c)}, {(FP, a)}
+    if name == "CVTIF":
+        return {(INT, b)}, {(FP, a)}
+    if name == "CVTFI":
+        return {(FP, b)}, {(INT, a)}
+    if name == "LOAD":
+        return {(INT, b)}, {(INT, a)}
+    if name == "FLOAD":
+        return {(INT, b)}, {(FP, a)}
+    if name == "STORE":
+        return {(INT, a), (INT, b)}, set()
+    if name == "FSTORE":
+        return {(FP, a), (INT, b)}, set()
+    if name in ("VADD", "VMUL"):
+        return {(VEC, b), (VEC, c)}, {(VEC, a)}
+    if name == "VFMA":
+        return {(VEC, a), (VEC, b), (VEC, c)}, {(VEC, a)}
+    if name == "VLOAD":
+        return {(INT, b)}, {(VEC, a)}
+    if name == "VSTORE":
+        return {(VEC, a), (INT, b)}, set()
+    if name == "VBROADCAST":
+        return {(FP, b)}, {(VEC, a)}
+    if name == "VREDUCE":
+        return {(VEC, b)}, {(FP, a)}
+    if name in ("BEQ", "BNE", "BLT", "BGE"):
+        return {(INT, a), (INT, b)}, set()
+    if name == "LOOPNZ":
+        return {(INT, a)}, {(INT, a)}
+    if name in ("JMP", "NOP", "HALT"):
+        return set(), set()
+    raise AssertionError(f"unhandled opcode {name}")  # pragma: no cover
+
+
+def has_side_effect(ins: Instruction) -> bool:
+    """Instructions an optimizer can never delete: memory writes, control
+    flow, and termination."""
+    return ins.op in BRANCH_OPCODES or Opcode(ins.op).name in (
+        "STORE", "FSTORE", "VSTORE", "HALT",
+    )
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """Half-open instruction range [start, end) plus CFG edges."""
+
+    start: int
+    end: int
+    successors: list[int]
+
+
+def build_cfg(program: Program) -> list[BasicBlock]:
+    """Partition a program into basic blocks with successor edges."""
+    n = len(program.instructions)
+    leaders = {0}
+    for index, ins in enumerate(program.instructions):
+        if ins.op in BRANCH_OPCODES:
+            leaders.add(ins.imm)
+            if index + 1 < n:
+                leaders.add(index + 1)
+        if ins.op == int(Opcode.HALT) and index + 1 < n:
+            leaders.add(index + 1)
+    ordered = sorted(leaders)
+    block_of = {}
+    blocks: list[BasicBlock] = []
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else n
+        block_of[start] = len(blocks)
+        blocks.append(BasicBlock(start=start, end=end, successors=[]))
+    for block in blocks:
+        last = program.instructions[block.end - 1]
+        if last.op == int(Opcode.HALT):
+            continue
+        if last.op == int(Opcode.JMP):
+            block.successors.append(block_of[last.imm])
+            continue
+        if last.op in BRANCH_OPCODES:  # conditional: target + fallthrough
+            block.successors.append(block_of[last.imm])
+        if block.end < n:
+            block.successors.append(block_of[block.end])
+    return blocks
+
+
+def liveness(
+    program: Program,
+    live_out: frozenset = SNAPSHOT_REGS,
+) -> list[set]:
+    """Per-instruction live-after sets (backward dataflow to fixpoint).
+
+    ``live_out`` is what an observer sees when the program terminates
+    (defaults to the snapshot register files).
+    """
+    blocks = build_cfg(program)
+    n_blocks = len(blocks)
+    block_live_in: list[set] = [set() for _ in range(n_blocks)]
+    block_live_out: list[set] = [set() for _ in range(n_blocks)]
+
+    # Blocks that can terminate (HALT or fall off the end) see live_out.
+    def terminal(block: BasicBlock) -> bool:
+        last = program.instructions[block.end - 1]
+        if last.op == int(Opcode.HALT):
+            return True
+        return not block.successors
+
+    changed = True
+    while changed:
+        changed = False
+        for index in range(n_blocks - 1, -1, -1):
+            block = blocks[index]
+            out = set(live_out) if terminal(block) else set()
+            for successor in block.successors:
+                out |= block_live_in[successor]
+            live = set(out)
+            for position in range(block.end - 1, block.start - 1, -1):
+                ins = program.instructions[position]
+                uses, defs = uses_defs(ins)
+                live -= defs
+                live |= uses
+            if out != block_live_out[index] or live != block_live_in[index]:
+                block_live_out[index] = out
+                block_live_in[index] = live
+                changed = True
+
+    # Second pass: per-instruction live-after sets.
+    live_after: list[set] = [set() for _ in range(len(program.instructions))]
+    for index, block in enumerate(blocks):
+        live = set(block_live_out[index])
+        for position in range(block.end - 1, block.start - 1, -1):
+            live_after[position] = set(live)
+            uses, defs = uses_defs(program.instructions[position])
+            live -= defs
+            live |= uses
+    return live_after
+
+
+@dataclass(frozen=True, slots=True)
+class DceReport:
+    """Outcome of the dead-code-elimination attack."""
+
+    original: int
+    removed: int
+    program: Program
+
+    @property
+    def removed_fraction(self) -> float:
+        return self.removed / self.original if self.original else 0.0
+
+
+def eliminate_dead_code(
+    program: Program,
+    live_out: frozenset = SNAPSHOT_REGS,
+    observe_everywhere: bool = False,
+) -> DceReport:
+    """Delete instructions whose results are provably unobservable.
+
+    ``observe_everywhere`` models HashCore's snapshot mechanism: register
+    state is sampled at dynamic instruction counts the optimizer cannot
+    align with static code, so every register write is observable — only
+    literal ``NOP``s are removable.  Iterates to a fixpoint (removing one
+    dead write can kill its feeders).
+    """
+    current = program
+    total_removed = 0
+    while True:
+        removed_this_round = 0
+        keep: list[Instruction] = []
+        if observe_everywhere:
+            for ins in current.instructions:
+                if ins.op == int(Opcode.NOP):
+                    removed_this_round += 1
+                else:
+                    keep.append(ins)
+        else:
+            live_after = liveness(current, live_out)
+            index_map: dict[int, int] = {}
+            for position, ins in enumerate(current.instructions):
+                _, defs = uses_defs(ins)
+                dead = (
+                    not has_side_effect(ins)
+                    and (
+                        ins.op == int(Opcode.NOP)
+                        or (defs and not (defs & live_after[position]))
+                    )
+                )
+                if dead:
+                    removed_this_round += 1
+                else:
+                    index_map[position] = len(keep)
+                    keep.append(ins)
+            # Re-target branches to the new indices (branch instructions
+            # are never removed, and removing code between a branch and
+            # its target shifts indices).
+            retargeted = []
+            for ins in keep:
+                if ins.op in BRANCH_OPCODES:
+                    target = ins.imm
+                    while target not in index_map and target < len(current.instructions):
+                        target += 1  # removed leader: fall to next kept
+                    new_target = index_map.get(target, len(keep) - 1)
+                    retargeted.append(
+                        Instruction(ins.op, ins.a, ins.b, ins.c, new_target)
+                    )
+                else:
+                    retargeted.append(ins)
+            keep = retargeted
+        total_removed += removed_this_round
+        if not keep:
+            keep = [Instruction(int(Opcode.HALT))]
+        current = Program(instructions=keep, name=current.name + "-dce")
+        current.validate()
+        if removed_this_round == 0 or observe_everywhere:
+            break
+    return DceReport(
+        original=len(program.instructions),
+        removed=total_removed,
+        program=current,
+    )

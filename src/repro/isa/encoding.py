@@ -1,0 +1,83 @@
+"""Deterministic binary encoding of instructions and programs.
+
+Each instruction packs to exactly :data:`INSTRUCTION_SIZE` bytes
+(``<BBBBq``: opcode, three register fields, signed 64-bit immediate).  The
+encoding serves three purposes:
+
+* program fingerprints (widget-generation determinism is asserted on bytes),
+* storage accounting for the widget *selection* alternative (§VI-A), and
+* shipping programs between simulated nodes in the blockchain substrate.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+_STRUCT = struct.Struct("<BBBBq")
+
+#: Size in bytes of one encoded instruction.
+INSTRUCTION_SIZE = _STRUCT.size
+
+_MAGIC = b"HCPR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHI")  # magic, version, instruction count
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one instruction to its fixed-size binary form."""
+    try:
+        return _STRUCT.pack(instr.op, instr.a, instr.b, instr.c, instr.imm)
+    except struct.error as exc:
+        raise EncodingError(f"cannot encode {instr}: {exc}") from exc
+
+
+def decode_instruction(data: bytes) -> Instruction:
+    """Decode one instruction from exactly :data:`INSTRUCTION_SIZE` bytes."""
+    if len(data) != INSTRUCTION_SIZE:
+        raise EncodingError(
+            f"expected {INSTRUCTION_SIZE} bytes, got {len(data)}"
+        )
+    op, a, b, c, imm = _STRUCT.unpack(data)
+    instr = Instruction(op=op, a=a, b=b, c=c, imm=imm)
+    instr.validate()
+    return instr
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program (header + instruction stream).
+
+    Labels and the program name are intentionally *not* encoded: they are
+    debugging metadata and must not affect fingerprints.
+    """
+    parts = [_HEADER.pack(_MAGIC, _VERSION, len(program.instructions))]
+    for instr in program.instructions:
+        parts.append(encode_instruction(instr))
+    return b"".join(parts)
+
+
+def decode_program(data: bytes, name: str = "decoded") -> Program:
+    """Decode a program previously produced by :func:`encode_program`."""
+    if len(data) < _HEADER.size:
+        raise EncodingError("truncated program header")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise EncodingError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise EncodingError(f"unsupported program version {version}")
+    expected = _HEADER.size + count * INSTRUCTION_SIZE
+    if len(data) != expected:
+        raise EncodingError(
+            f"program length mismatch: header says {expected} bytes, got {len(data)}"
+        )
+    instructions = []
+    offset = _HEADER.size
+    for _ in range(count):
+        instructions.append(decode_instruction(data[offset : offset + INSTRUCTION_SIZE]))
+        offset += INSTRUCTION_SIZE
+    program = Program(instructions=instructions, name=name)
+    program.validate()
+    return program

@@ -1,0 +1,91 @@
+"""Instruction representation and static validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    FP_DEST_OPCODES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_VEC_REGS,
+    OpClass,
+    Opcode,
+    opcode_class,
+    opcode_name,
+)
+
+_IMM_MIN = -(1 << 63)
+_IMM_MAX = (1 << 63) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A single decoded instruction.
+
+    Fields ``a``, ``b``, ``c`` are register indices whose meaning depends on
+    the opcode (see :class:`~repro.isa.opcodes.Opcode`); ``imm`` is a signed
+    64-bit immediate / offset / branch target.
+    """
+
+    op: int
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    imm: int = 0
+
+    def op_class(self) -> OpClass:
+        """Resource class executing this instruction."""
+        return opcode_class(self.op)
+
+    def is_branch(self) -> bool:
+        """True when ``imm`` is a control-flow target."""
+        return self.op in BRANCH_OPCODES
+
+    def validate(self, program_length: int | None = None) -> None:
+        """Raise :class:`EncodingError` if any field is out of range.
+
+        When ``program_length`` is given, branch targets must fall inside
+        ``[0, program_length)``.
+        """
+        try:
+            Opcode(self.op)
+        except ValueError:
+            raise EncodingError(f"unknown opcode {self.op}") from None
+        cls = opcode_class(self.op)
+        # FP-destination check first: VREDUCE is VECTOR-class but writes an
+        # FP register; CVTFI is FP-class but writes an integer register.
+        if self.op in FP_DEST_OPCODES or cls == OpClass.FP_ALU:
+            limit_a = NUM_FP_REGS
+        elif cls == OpClass.VECTOR:
+            limit_a = NUM_VEC_REGS
+        else:
+            limit_a = NUM_INT_REGS
+        # Field-by-field bounds.  b/c can address either file depending on
+        # the opcode; the widest applicable file bounds them.
+        limit_bc = max(NUM_INT_REGS, NUM_FP_REGS)
+        for name, value, limit in (
+            ("a", self.a, limit_a),
+            ("b", self.b, limit_bc),
+            ("c", self.c, limit_bc),
+        ):
+            if not 0 <= value < max(limit, limit_bc if name != "a" else limit):
+                raise EncodingError(
+                    f"{opcode_name(self.op)}: field {name}={value} out of range"
+                )
+        if not _IMM_MIN <= self.imm <= _IMM_MAX:
+            raise EncodingError(f"{opcode_name(self.op)}: imm {self.imm} out of i64 range")
+        if program_length is not None and self.is_branch():
+            if not 0 <= self.imm < program_length:
+                raise EncodingError(
+                    f"{opcode_name(self.op)}: branch target {self.imm} outside "
+                    f"program of {program_length} instructions"
+                )
+
+    def __str__(self) -> str:
+        return (
+            f"{opcode_name(self.op):<10} a={self.a:<2} b={self.b:<2} "
+            f"c={self.c:<2} imm={self.imm}"
+        )

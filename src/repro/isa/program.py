@@ -1,0 +1,77 @@
+"""Program container: an ordered list of instructions plus metadata."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass
+
+
+@dataclass(slots=True)
+class Program:
+    """An executable program in the synthetic ISA.
+
+    ``instructions`` execute from index 0; falling off the end or executing
+    ``HALT`` terminates the program.  ``name`` is informational.  ``labels``
+    maps symbolic names to instruction indices (kept by the assembler and
+    builder for debugging and disassembly).
+    """
+
+    instructions: list[Instruction]
+    name: str = "program"
+    labels: dict[str, int] = field(default_factory=dict)
+    #: Lazily cached (op, a, b, c, imm) tuples for the interpreter; rebuilt
+    #: on first use after any mutation of ``instructions`` via
+    #: :meth:`invalidate_code`.
+    _code: list[tuple] | None = field(default=None, repr=False, compare=False)
+
+    def code_tuples(self) -> list[tuple]:
+        """Decoded instruction tuples (cached; the interpreter's hot input)."""
+        if self._code is None or len(self._code) != len(self.instructions):
+            self._code = [
+                (i.op, i.a, i.b, i.c, i.imm) for i in self.instructions
+            ]
+        return self._code
+
+    def invalidate_code(self) -> None:
+        """Drop the decode cache after mutating ``instructions`` in place."""
+        self._code = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def validate(self) -> None:
+        """Statically validate every instruction, including branch targets."""
+        n = len(self.instructions)
+        if n == 0:
+            raise EncodingError("program has no instructions")
+        for index, instr in enumerate(self.instructions):
+            try:
+                instr.validate(program_length=n)
+            except EncodingError as exc:
+                raise EncodingError(f"instruction {index}: {exc}") from exc
+
+    def static_mix(self) -> dict[OpClass, int]:
+        """Static (not dynamic) instruction count per resource class."""
+        mix: dict[OpClass, int] = {cls: 0 for cls in OpClass}
+        for instr in self.instructions:
+            mix[instr.op_class()] += 1
+        return mix
+
+    def fingerprint(self) -> str:
+        """Hex SHA-256 of the canonical binary encoding.
+
+        Two programs with the same fingerprint are byte-identical; the widget
+        generator's determinism tests rely on this.
+        """
+        from repro.isa.encoding import encode_program
+
+        return hashlib.sha256(encode_program(self)).hexdigest()
+
+    def __str__(self) -> str:
+        from repro.isa.assembler import disassemble
+
+        return disassemble(self)

@@ -1,0 +1,110 @@
+"""Branch predictors.
+
+The paper's Figure 3 compares the branch-prediction accuracy of widgets
+against the Leela reference workload, measured by the hardware predictor of
+the Ivy Bridge platform.  These software predictors play that role.  Two
+classic designs are provided (plus a trivial baseline for ablations):
+
+* :class:`BimodalPredictor` — per-PC 2-bit saturating counters.
+* :class:`GsharePredictor` — global history XOR PC indexing (McFarling),
+  a reasonable stand-in for the Ivy Bridge hybrid predictor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class BranchPredictor:
+    """Interface: ``predict`` then ``update`` for each conditional branch."""
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predict-taken baseline (used by ablation benches)."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class BimodalPredictor(BranchPredictor):
+    """Table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 1 <= table_bits <= 24:
+            raise ConfigError(f"table_bits out of range: {table_bits}")
+        self._mask = (1 << table_bits) - 1
+        self._table = [2] * (1 << table_bits)  # initialise weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._table[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+    def reset(self) -> None:
+        self._table = [2] * (self._mask + 1)
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history predictor: counters indexed by ``PC xor history``."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        if not 1 <= table_bits <= 24:
+            raise ConfigError(f"table_bits out of range: {table_bits}")
+        if not 0 <= history_bits <= table_bits:
+            raise ConfigError(
+                f"history_bits must be in [0, table_bits], got {history_bits}"
+            )
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [2] * (1 << table_bits)
+        self._history = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._table[(pc ^ self._history) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = (pc ^ self._history) & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._history_mask
+
+    def reset(self) -> None:
+        self._table = [2] * (self._mask + 1)
+        self._history = 0
+
+
+def make_predictor(kind: str, table_bits: int, history_bits: int) -> BranchPredictor:
+    """Construct the predictor named by a :class:`MachineConfig`."""
+    if kind == "gshare":
+        return GsharePredictor(table_bits, history_bits)
+    if kind == "bimodal":
+        return BimodalPredictor(table_bits)
+    if kind == "always-taken":
+        return AlwaysTakenPredictor()
+    raise ConfigError(f"unknown predictor kind {kind!r}")

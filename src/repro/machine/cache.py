@@ -1,0 +1,134 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+Memory in the simulator is word-addressed (8-byte words); a 64-byte line
+holds 8 words.  The hierarchy is inclusive and write-allocate: every access
+probes L1 → L2 → L3 → DRAM and fills all levels on the way back, which is
+close enough to the Ivy Bridge behaviour for the hit-rate and latency
+statistics the experiments need.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import CacheConfig, MachineConfig
+
+
+class Cache:
+    """One cache level.  ``access(line)`` returns True on hit and updates
+    LRU/replacement state (dict insertion order serves as the LRU stack)."""
+
+    __slots__ = ("config", "_sets", "_set_mask", "_ways", "hits", "misses")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._set_mask = config.num_sets - 1
+        self._ways = config.ways
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        index = line & self._set_mask
+        tag = line >> 0  # full line id as tag; the set split is via index
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            # Refresh LRU position.
+            del cache_set[tag]
+            cache_set[tag] = True
+            self.hits += 1
+            return True
+        cache_set[tag] = True
+        if len(cache_set) > self._ways:
+            del cache_set[next(iter(cache_set))]
+        self.misses += 1
+        return False
+
+    def insert(self, line: int) -> None:
+        """Fill a line without touching hit/miss statistics (prefetches)."""
+        index = line & self._set_mask
+        cache_set = self._sets[index]
+        if line in cache_set:
+            del cache_set[line]
+        cache_set[line] = True
+        if len(cache_set) > self._ways:
+            del cache_set[next(iter(cache_set))]
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating lookup (used by tests)."""
+        return line in self._sets[line & self._set_mask]
+
+    def reset(self) -> None:
+        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+class CacheHierarchy:
+    """L1 → L2 → optional L3 → DRAM, returning the access latency."""
+
+    __slots__ = (
+        "l1",
+        "l2",
+        "l3",
+        "_line_shift",
+        "_l1_lat",
+        "_l2_lat",
+        "_l3_lat",
+        "_mem_lat",
+        "_prefetch_next",
+        "dram_accesses",
+        "prefetches",
+    )
+
+    def __init__(self, config: MachineConfig) -> None:
+        if config.l1.line_bytes != config.l2.line_bytes or (
+            config.l3 is not None and config.l3.line_bytes != config.l1.line_bytes
+        ):
+            # Uniform line size keeps the single line-shift valid at every level.
+            raise ValueError("all cache levels must share one line size")
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.l3 = Cache(config.l3) if config.l3 is not None else None
+        words_per_line = config.l1.line_bytes // 8
+        self._line_shift = words_per_line.bit_length() - 1
+        self._l1_lat = config.l1.latency
+        self._l2_lat = config.l2.latency
+        self._l3_lat = config.l3.latency if config.l3 is not None else 0
+        self._mem_lat = config.memory_latency
+        self._prefetch_next = config.prefetch_next_line
+        self.dram_accesses = 0
+        self.prefetches = 0
+
+    def line_of(self, word_addr: int) -> int:
+        """Line id containing a word address."""
+        return word_addr >> self._line_shift
+
+    def access(self, word_addr: int) -> int:
+        """Probe the hierarchy for ``word_addr``; returns latency in cycles."""
+        line = word_addr >> self._line_shift
+        if self.l1.access(line):
+            return self._l1_lat
+        if self._prefetch_next:
+            # Next-line prefetch on an L1 miss: fill line+1 alongside the
+            # demand fill (no latency charged; no hit/miss stats touched).
+            self.prefetches += 1
+            self.l1.insert(line + 1)
+            self.l2.insert(line + 1)
+            if self.l3 is not None:
+                self.l3.insert(line + 1)
+        if self.l2.access(line):
+            return self._l2_lat
+        if self.l3 is not None:
+            if self.l3.access(line):
+                return self._l3_lat
+            self.dram_accesses += 1
+            return self._mem_lat
+        self.dram_accesses += 1
+        return self._mem_lat
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        if self.l3 is not None:
+            self.l3.reset()
+        self.dram_accesses = 0
+        self.prefetches = 0

@@ -1,0 +1,185 @@
+"""Machine configurations and the presets used by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """One cache level: ``size_bytes`` capacity, ``ways`` associativity,
+    ``line_bytes`` line size, ``latency`` access latency in cycles."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigError("cache dimensions must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        sets = self.num_sets
+        if sets & (sets - 1):
+            raise ConfigError(f"number of sets must be a power of two, got {sets}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Full description of a simulated GPP.
+
+    The default values approximate the paper's evaluation platform (Xeon
+    E5-2430 v2, Ivy Bridge): 4-wide out-of-order core, 168-entry ROB,
+    32 KB/256 KB/15 MB cache hierarchy, gshare-class branch prediction.
+    """
+
+    name: str = "ivy-bridge-like"
+    issue_width: int = 4
+    rob_size: int = 168
+
+    # Execution latencies (cycles).
+    int_alu_latency: int = 1
+    int_mul_latency: int = 3
+    int_div_latency: int = 26
+    fp_add_latency: int = 3
+    fp_mul_latency: int = 5
+    fp_div_latency: int = 14
+    fp_misc_latency: int = 2
+    vector_latency: int = 4
+    store_latency: int = 1
+    branch_latency: int = 1
+
+    # Branch prediction.
+    predictor: str = "gshare"
+    predictor_table_bits: int = 12
+    predictor_history_bits: int = 12
+    mispredict_penalty: int = 14
+
+    # Memory system.
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 8, 64, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, 8, 64, 12)
+    )
+    # The real E5-2430 v2 has a 15 MB 20-way L3; 16 MB/16-way keeps the
+    # set count a power of two with nearly identical capacity behaviour.
+    l3: CacheConfig | None = field(
+        default_factory=lambda: CacheConfig(16 * 1024 * 1024, 16, 64, 30)
+    )
+    memory_latency: int = 180
+    memory_words: int = 1 << 21  # 16 MiB of 8-byte words
+    #: Next-line prefetch on L1 misses.  Off by default: the consensus
+    #: profile was measured without it, and it is a *timing* feature only —
+    #: architectural results (and hashes) are identical either way.
+    prefetch_next_line: bool = False
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError("issue_width must be >= 1")
+        if self.rob_size < 1:
+            raise ConfigError("rob_size must be >= 1")
+        if self.memory_words & (self.memory_words - 1):
+            raise ConfigError("memory_words must be a power of two")
+        if self.predictor not in ("gshare", "bimodal", "always-taken"):
+            raise ConfigError(f"unknown predictor {self.predictor!r}")
+
+    def scaled_memory(self, words: int) -> "MachineConfig":
+        """Copy of this config with a different memory size."""
+        return replace(self, memory_words=words)
+
+
+def ivy_bridge() -> MachineConfig:
+    """The paper's evaluation platform (§V): Ivy Bridge Xeon E5-2430 v2."""
+    return MachineConfig()
+
+
+def mobile_arm() -> MachineConfig:
+    """An ARM-like mobile core (§VI-B: targeting alternative GPPs)."""
+    return MachineConfig(
+        name="mobile-arm-like",
+        issue_width=2,
+        rob_size=64,
+        int_mul_latency=4,
+        fp_add_latency=4,
+        fp_mul_latency=6,
+        predictor="bimodal",
+        predictor_table_bits=10,
+        predictor_history_bits=0,
+        mispredict_penalty=8,
+        l1=CacheConfig(32 * 1024, 4, 64, 3),
+        l2=CacheConfig(512 * 1024, 8, 64, 15),
+        l3=None,
+        memory_latency=150,
+        memory_words=1 << 20,
+    )
+
+
+def scalar_inorder() -> MachineConfig:
+    """A minimal in-order scalar core — the 'stripped ASIC' end of the
+    spectrum used by ablation benches."""
+    return MachineConfig(
+        name="scalar-inorder",
+        issue_width=1,
+        rob_size=1,
+        predictor="bimodal",
+        predictor_table_bits=8,
+        predictor_history_bits=0,
+        mispredict_penalty=4,
+        l1=CacheConfig(16 * 1024, 2, 64, 2),
+        l2=CacheConfig(128 * 1024, 4, 64, 10),
+        l3=None,
+        memory_latency=100,
+        memory_words=1 << 20,
+    )
+
+
+def modern_desktop() -> MachineConfig:
+    """A wider, newer desktop core (6-wide, larger window and caches,
+    next-line prefetch) — the upper end of the §VI-B hardware spectrum."""
+    return MachineConfig(
+        name="modern-desktop",
+        issue_width=6,
+        rob_size=352,
+        int_mul_latency=3,
+        fp_add_latency=3,
+        fp_mul_latency=4,
+        fp_div_latency=11,
+        mispredict_penalty=16,
+        predictor_table_bits=14,
+        predictor_history_bits=14,
+        l1=CacheConfig(48 * 1024, 12, 64, 4),
+        l2=CacheConfig(1024 * 1024, 16, 64, 13),
+        l3=CacheConfig(32 * 1024 * 1024, 16, 64, 34),
+        memory_latency=170,
+        memory_words=1 << 21,
+        prefetch_next_line=True,
+    )
+
+
+PRESETS = {
+    "ivy-bridge": ivy_bridge,
+    "mobile-arm": mobile_arm,
+    "scalar-inorder": scalar_inorder,
+    "modern-desktop": modern_desktop,
+}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a named machine preset."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

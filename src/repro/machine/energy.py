@@ -1,0 +1,97 @@
+"""Energy accounting for simulated runs.
+
+The paper's critique of memory-hard PoW rests on energy: "the energy
+required to power memory units in an ASIC is much lower than that of
+generalized hardware" (§I, citing Ren & Devadas [10]), so hash-per-joule —
+not just hash-per-die-area — decides mining economics.  This model turns a
+run's performance counters into an energy estimate so experiments can
+compare *on-GPP* energy profiles of workloads and PoW functions.
+
+Per-event energies are in picojoule-class relative units with 45 nm-era
+ratios from the architecture literature (Horowitz, ISSCC'14 keynote):
+an integer op ≈ 1, FP ≈ 4-8, SRAM accesses grow with capacity, and DRAM
+is ~3 orders of magnitude above an integer op.  Only ratios matter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OpClass
+from repro.machine.perf_counters import PerfCounters
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyParams:
+    """Per-event energies (relative pJ) and static power (pJ/cycle)."""
+
+    int_alu: float = 1.0
+    int_mul: float = 3.0
+    fp_alu: float = 5.0
+    vector: float = 8.0
+    branch: float = 1.0
+    system: float = 0.5
+    #: Issued-instruction overhead: fetch/decode/rename/commit.
+    pipeline_overhead: float = 2.0
+    l1_access: float = 5.0
+    l2_access: float = 20.0
+    l3_access: float = 80.0
+    dram_access: float = 1300.0
+    #: Leakage + clock per cycle.
+    static_per_cycle: float = 6.0
+
+
+@dataclass(slots=True)
+class EnergyBreakdown:
+    """Energy of one run, split by source (relative pJ)."""
+
+    compute: float
+    memory: float
+    pipeline: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.memory + self.pipeline + self.static
+
+    def per_instruction(self, retired: int) -> float:
+        return self.total / max(retired, 1)
+
+    def memory_share(self) -> float:
+        """Fraction of total energy spent in the memory hierarchy — the
+        quantity behind the bandwidth-hardness argument [10]."""
+        return self.memory / self.total if self.total > 0 else 0.0
+
+
+class EnergyModel:
+    """Counters → energy, post-hoc (no interpreter overhead)."""
+
+    def __init__(self, params: EnergyParams | None = None) -> None:
+        self.params = params or EnergyParams()
+
+    def energy_of(self, counters: PerfCounters) -> EnergyBreakdown:
+        p = self.params
+        cc = counters.class_counts
+        compute = (
+            cc[OpClass.INT_ALU] * p.int_alu
+            + cc[OpClass.INT_MUL] * p.int_mul
+            + cc[OpClass.FP_ALU] * p.fp_alu
+            + cc[OpClass.VECTOR] * p.vector
+            + cc[OpClass.BRANCH] * p.branch
+            + cc[OpClass.SYSTEM] * p.system
+        )
+        # Every access probes L1; misses continue downward (inclusive fill).
+        accesses = counters.loads + counters.stores
+        l1_misses = max(0, accesses - counters.l1_hits)
+        l2_misses = max(0, l1_misses - counters.l2_hits)
+        memory = (
+            accesses * p.l1_access
+            + l1_misses * p.l2_access
+            + l2_misses * p.l3_access
+            + counters.dram_accesses * p.dram_access
+        )
+        pipeline = counters.retired * p.pipeline_overhead
+        static = counters.cycles * p.static_per_cycle
+        return EnergyBreakdown(
+            compute=compute, memory=memory, pipeline=pipeline, static=static
+        )

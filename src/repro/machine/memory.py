@@ -1,0 +1,104 @@
+"""Simulated main memory: a flat, word-addressed array of 64-bit values.
+
+Addresses wrap modulo the (power-of-two) memory size, so no program can
+fault on a wild address — a property the widget generator relies on: any
+seed-derived address stream is safe to execute.
+
+Deterministic bulk initialisation uses a vectorised SplitMix64 when numpy is
+available (milliseconds for millions of words) and falls back to the scalar
+implementation otherwise, producing bit-identical contents either way.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.rng import MASK64, Xoshiro256, splitmix64
+
+try:  # numpy accelerates bulk fills; the scalar path is authoritative.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+
+def _splitmix64_block(seed: int, count: int) -> list[int]:
+    """``count`` SplitMix64 outputs for stream ``seed`` (scalar reference)."""
+    return [splitmix64((seed + i) & MASK64) for i in range(1, count + 1)]
+
+
+def _splitmix64_block_np(seed: int, count: int) -> list[int]:
+    """Vectorised twin of :func:`_splitmix64_block` (uint64 wraps like the
+    scalar code masks)."""
+    with _np.errstate(over="ignore"):
+        x = _np.arange(1, count + 1, dtype=_np.uint64) + _np.uint64(seed & MASK64)
+        z = x + _np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> _np.uint64(31))
+    return z.tolist()
+
+
+class Memory:
+    """Word-addressed simulated RAM."""
+
+    __slots__ = ("words", "mask", "size_words")
+
+    def __init__(self, size_words: int) -> None:
+        if size_words <= 0 or size_words & (size_words - 1):
+            raise ConfigError(f"memory size must be a positive power of two, got {size_words}")
+        self.size_words = size_words
+        self.mask = size_words - 1
+        self.words: list[int] = [0] * size_words
+
+    # ------------------------------------------------------------------
+    # direct access (the CPU inlines these for speed; they exist for
+    # workload setup and tests)
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> int:
+        return self.words[addr & self.mask]
+
+    def write(self, addr: int, value: int) -> None:
+        self.words[addr & self.mask] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # deterministic initialisation helpers
+    # ------------------------------------------------------------------
+    def fill_random(self, seed: int, start: int, count: int) -> None:
+        """Fill ``count`` words from ``start`` with SplitMix64(seed) output.
+
+        The contents depend only on ``(seed, start, count)``.
+        """
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        if _np is not None and count >= 1024:
+            block = _splitmix64_block_np(seed, count)
+        else:
+            block = _splitmix64_block(seed, count)
+        words, mask = self.words, self.mask
+        for offset, value in enumerate(block):
+            words[(start + offset) & mask] = value
+
+    def fill_pointer_ring(self, seed: int, start: int, count: int) -> None:
+        """Install a pointer-chasing ring over ``count`` slots from ``start``.
+
+        Each slot holds the absolute word address of the next slot in a
+        single random cycle, so ``addr = mem[addr]`` visits every slot before
+        repeating — the classic dependent-load pattern used by
+        latency-bound workload phases and by widget memory streams.
+        """
+        if count < 2:
+            raise ConfigError("pointer ring needs at least 2 slots")
+        order = list(range(count))
+        rng = Xoshiro256(seed)
+        rng.shuffle(order)
+        words, mask = self.words, self.mask
+        for i in range(count):
+            src = (start + order[i]) & mask
+            dst = (start + order[(i + 1) % count]) & mask
+            words[src] = dst
+
+    def fill_value(self, value: int, start: int, count: int) -> None:
+        """Set ``count`` words from ``start`` to a constant."""
+        words, mask = self.words, self.mask
+        value &= MASK64
+        for offset in range(count):
+            words[(start + offset) & mask] = value

@@ -1,0 +1,14 @@
+"""Workload profiling — the front half of the PerfProx pipeline (§IV-B).
+
+PerfProx profiles a workload "on a variety of performance metrics such as
+instruction mix, branch behavior, memory access patterns, and data
+dependencies" and then synthesises a proxy matching that profile.  This
+subpackage produces exactly that profile from a run of a reference workload
+on the simulated machine; :mod:`repro.widgetgen` is the back half that
+consumes it.
+"""
+
+from repro.profiling.profile import PerformanceProfile
+from repro.profiling.profiler import profile_program, profile_workload
+
+__all__ = ["PerformanceProfile", "profile_program", "profile_workload"]

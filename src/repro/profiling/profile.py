@@ -1,0 +1,186 @@
+"""The performance profile a widget generator targets.
+
+This is the reproduction's version of the PerfProx performance profile: the
+statistics that characterise *how* a workload exercises the machine, without
+retaining any of its code.  Widgets generated from a profile match the
+workload at this level (Figures 2 and 3 of the paper), which is the whole
+point of inverted benchmarking: the GPP was optimised for programs shaped
+like this, so programs generated to this shape run optimally on the GPP.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ProfileError
+from repro.isa.opcodes import OpClass
+from repro.machine.perf_counters import DEP_BUCKETS, STRIDE_BUCKETS, PerfCounters
+
+#: Instruction-mix keys, in OpClass order.
+MIX_KEYS = tuple(cls.name.lower() for cls in OpClass)
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class PerformanceProfile:
+    """Statistical execution profile of one workload on one machine."""
+
+    name: str
+    machine: str
+    dynamic_instructions: int
+    #: Fractions summing to ~1.0, keyed by op-class name (see MIX_KEYS).
+    instruction_mix: dict[str, float]
+    branch_taken_rate: float
+    branch_accuracy: float
+    biased_branch_fraction: float
+    #: Normalised histogram over DEP_BUCKETS (+ overflow bucket).
+    dep_distance_hist: list[float]
+    #: Normalised histogram over STRIDE_BUCKETS (+ overflow bucket).
+    stride_hist: list[float]
+    block_size_mean: float
+    working_set_bytes: int
+    l1_hit_rate: float
+    ipc: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ProfileError` on malformed or inconsistent data."""
+        if self.dynamic_instructions <= 0:
+            raise ProfileError(f"{self.name}: no dynamic instructions")
+        missing = [k for k in MIX_KEYS if k not in self.instruction_mix]
+        if missing:
+            raise ProfileError(f"{self.name}: mix missing classes {missing}")
+        total = sum(self.instruction_mix.values())
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ProfileError(f"{self.name}: mix sums to {total}, expected 1.0")
+        for key, value in self.instruction_mix.items():
+            if not 0.0 <= value <= 1.0:
+                raise ProfileError(f"{self.name}: mix[{key}]={value} out of range")
+        for label, value in (
+            ("branch_taken_rate", self.branch_taken_rate),
+            ("branch_accuracy", self.branch_accuracy),
+            ("biased_branch_fraction", self.biased_branch_fraction),
+            ("l1_hit_rate", self.l1_hit_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ProfileError(f"{self.name}: {label}={value} out of range")
+        for label, hist, size in (
+            ("dep_distance_hist", self.dep_distance_hist, len(DEP_BUCKETS) + 1),
+            ("stride_hist", self.stride_hist, len(STRIDE_BUCKETS) + 1),
+        ):
+            if len(hist) != size:
+                raise ProfileError(
+                    f"{self.name}: {label} has {len(hist)} buckets, expected {size}"
+                )
+            hist_total = sum(hist)
+            if hist and hist_total > 0 and not math.isclose(hist_total, 1.0, abs_tol=1e-6):
+                raise ProfileError(f"{self.name}: {label} sums to {hist_total}")
+        if self.block_size_mean <= 0:
+            raise ProfileError(f"{self.name}: non-positive block size mean")
+        if self.working_set_bytes < 0:
+            raise ProfileError(f"{self.name}: negative working set")
+        if self.ipc < 0:
+            raise ProfileError(f"{self.name}: negative IPC")
+
+    def mix_fraction(self, cls: OpClass) -> float:
+        """Mix fraction for one op class."""
+        return self.instruction_mix[cls.name.lower()]
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": _SCHEMA_VERSION,
+            "name": self.name,
+            "machine": self.machine,
+            "dynamic_instructions": self.dynamic_instructions,
+            "instruction_mix": dict(self.instruction_mix),
+            "branch_taken_rate": self.branch_taken_rate,
+            "branch_accuracy": self.branch_accuracy,
+            "biased_branch_fraction": self.biased_branch_fraction,
+            "dep_distance_hist": list(self.dep_distance_hist),
+            "stride_hist": list(self.stride_hist),
+            "block_size_mean": self.block_size_mean,
+            "working_set_bytes": self.working_set_bytes,
+            "l1_hit_rate": self.l1_hit_rate,
+            "ipc": self.ipc,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerformanceProfile":
+        if data.get("schema") != _SCHEMA_VERSION:
+            raise ProfileError(f"unsupported profile schema {data.get('schema')!r}")
+        profile = cls(
+            name=data["name"],
+            machine=data["machine"],
+            dynamic_instructions=data["dynamic_instructions"],
+            instruction_mix=dict(data["instruction_mix"]),
+            branch_taken_rate=data["branch_taken_rate"],
+            branch_accuracy=data["branch_accuracy"],
+            biased_branch_fraction=data["biased_branch_fraction"],
+            dep_distance_hist=list(data["dep_distance_hist"]),
+            stride_hist=list(data["stride_hist"]),
+            block_size_mean=data["block_size_mean"],
+            working_set_bytes=data["working_set_bytes"],
+            l1_hit_rate=data["l1_hit_rate"],
+            ipc=data["ipc"],
+            extras=dict(data.get("extras", {})),
+        )
+        profile.validate()
+        return profile
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerformanceProfile":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counters(
+        cls, name: str, machine: str, counters: PerfCounters
+    ) -> "PerformanceProfile":
+        """Build a profile from the detailed counters of one run."""
+        if counters.retired <= 0:
+            raise ProfileError(f"{name}: empty run")
+        mix = counters.mix_fractions()
+        dep_total = sum(counters.dep_distance_hist) or 1
+        stride_total = sum(counters.stride_hist) or 1
+        blocks = counters.block_sizes
+        block_mean = sum(blocks) / len(blocks) if blocks else 1.0
+        # Sub-class opcode shares: long-latency ops dominate dependency
+        # chains, so the generator needs their share, not just the class mix.
+        from repro.isa.opcodes import Opcode  # local import avoids a cycle
+
+        oc = counters.opcode_counts
+        int_mul_total = counters.class_counts[OpClass.INT_MUL] or 1
+        fp_total = counters.class_counts[OpClass.FP_ALU] or 1
+        extras = {
+            "div_share": (oc[Opcode.DIV] + oc[Opcode.MOD]) / int_mul_total,
+            "fdiv_share": oc[Opcode.FDIV] / fp_total,
+        }
+        profile = cls(
+            name=name,
+            machine=machine,
+            dynamic_instructions=counters.retired,
+            instruction_mix=mix,
+            branch_taken_rate=counters.taken_rate,
+            branch_accuracy=counters.branch_accuracy,
+            biased_branch_fraction=counters.biased_branch_fraction(),
+            dep_distance_hist=[h / dep_total for h in counters.dep_distance_hist],
+            stride_hist=[h / stride_total for h in counters.stride_hist],
+            block_size_mean=block_mean,
+            working_set_bytes=counters.working_set_bytes,
+            l1_hit_rate=counters.l1_hit_rate,
+            ipc=counters.ipc,
+            extras=extras,
+        )
+        profile.validate()
+        return profile

@@ -1,0 +1,48 @@
+"""Run a workload with detailed counters and extract its profile."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.machine.cpu import Machine
+from repro.machine.memory import Memory
+from repro.profiling.profile import PerformanceProfile
+from repro.workloads.base import Workload
+
+
+def profile_workload(
+    workload: Workload,
+    machine: Machine | None = None,
+    scale: int = 1,
+) -> PerformanceProfile:
+    """Profile ``workload`` on ``machine`` (default: the Ivy-Bridge-like
+    reference platform), as the paper profiles Leela on its Xeon (§V).
+    """
+    machine = machine or Machine()
+    image = workload.build(scale=scale)
+    result = image.run(machine, collect_detail=True)
+    return PerformanceProfile.from_counters(
+        name=workload.name, machine=machine.config.name, counters=result.counters
+    )
+
+
+def profile_program(
+    program: Program,
+    machine: Machine | None = None,
+    memory: Memory | None = None,
+    *,
+    name: str | None = None,
+    max_instructions: int = 10_000_000,
+) -> PerformanceProfile:
+    """Profile an arbitrary program (used to profile widgets themselves)."""
+    machine = machine or Machine()
+    result = machine.run(
+        program,
+        memory,
+        max_instructions=max_instructions,
+        collect_detail=True,
+    )
+    return PerformanceProfile.from_counters(
+        name=name or program.name,
+        machine=machine.config.name,
+        counters=result.counters,
+    )

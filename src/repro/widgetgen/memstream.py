@@ -1,0 +1,152 @@
+"""Widget memory planning.
+
+The widget's memory behaviour is synthesised from the profile's locality
+statistics (Table I's *Memory Seed* field drives the PRNG):
+
+* a **hot** region sized to live in L1 — the high-locality accesses;
+* a **cold** region the widget sweeps with large odd strides — its
+  first-touch misses reproduce the profiled L1-miss and DRAM rates;
+* an optional **pointer-chase ring** — dependent loads reproducing the
+  profile's irregular (large-stride) access share and its latency-bound
+  dependency chains.
+
+Sizing is *duration-aware*: a widget runs for ``target_instructions``
+dynamic instructions while the profile was measured over
+``profile.dynamic_instructions``, so the regions scale with that ratio.
+(Cold-start misses dominate cache behaviour at both scales; keeping
+*lines-touched per instruction* matched is what makes the widget's
+DRAM-access and L1-miss rates land on the profiled ones.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.profiling.profile import PerformanceProfile
+from repro.rng import Xoshiro256
+from repro.workloads.base import MemoryDirective
+
+#: Fixed region bases (word addresses) inside the machine's memory.
+HOT_BASE = 0
+COLD_BASE = 1 << 18
+RING_BASE = 1 << 19
+
+#: Hot region: 16 KiB, comfortably inside a 32 KiB L1.
+HOT_WORDS = 2048
+
+_MIN_COLD_WORDS = 1 << 10   # 8 KiB
+_MAX_COLD_WORDS = 1 << 17   # 1 MiB — bounded so widgets stay verifiable
+_MIN_RING_WORDS = 1 << 9    # 4 KiB
+_MAX_RING_WORDS = 1 << 15   # 256 KiB
+
+
+def _pow2_near(value: float) -> int:
+    """Power of two nearest to ``value`` (geometric rounding)."""
+    if value <= 1:
+        return 1
+    lower = 1 << (int(value).bit_length() - 1)
+    return lower * 2 if value / lower > 1.5 else lower
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryPlan:
+    """Concrete widget memory layout plus access-mix probabilities."""
+
+    hot_words: int
+    cold_words: int
+    ring_words: int
+    #: Probability that a load targets the cold region.
+    p_cold: float
+    #: Probability that a load is a pointer-chase step.
+    p_ring: float
+    #: SplitMix64 stream seeding the regions' initial contents.
+    fill_seed: int
+
+    def __post_init__(self) -> None:
+        for label, words in (
+            ("hot", self.hot_words),
+            ("cold", self.cold_words),
+            ("ring", self.ring_words),
+        ):
+            if words and words & (words - 1):
+                raise GenerationError(f"{label}_words must be a power of two")
+        if not 0.0 <= self.p_cold <= 1.0 or not 0.0 <= self.p_ring <= 1.0:
+            raise GenerationError("stream probabilities out of range")
+        if self.p_cold + self.p_ring > 1.0:
+            raise GenerationError("cold + ring probabilities exceed 1")
+
+    @property
+    def hot_mask(self) -> int:
+        return self.hot_words - 1
+
+    @property
+    def cold_mask(self) -> int:
+        return self.cold_words - 1
+
+    def directives(self) -> list[MemoryDirective]:
+        """Memory-initialisation recipe for this plan."""
+        out = [
+            MemoryDirective("random", self.fill_seed, HOT_BASE, self.hot_words),
+            MemoryDirective("random", self.fill_seed ^ 0xC01D, COLD_BASE, self.cold_words),
+        ]
+        if self.ring_words:
+            out.append(
+                MemoryDirective("ring", self.fill_seed ^ 0x4163, RING_BASE, self.ring_words)
+            )
+        return out
+
+    def footprint_bytes(self) -> int:
+        """Total bytes the widget's streams can touch."""
+        return 8 * (self.hot_words + self.cold_words + self.ring_words)
+
+
+def plan_memory(
+    profile: PerformanceProfile,
+    mem_rng: Xoshiro256,
+    duration_scale: float = 1.0,
+) -> MemoryPlan:
+    """Derive a :class:`MemoryPlan` from the profile's locality statistics.
+
+    ``duration_scale`` is ``widget_target_instructions /
+    profile.dynamic_instructions``; region footprints scale with it so that
+    lines-touched *per instruction* (and hence miss rates) match the
+    profiled workload.  The mapping:
+
+    * ``p_cold``  ≈ 1.3 × profiled L1 miss rate;
+    * ``p_ring``  ≈ 0.4 × the profile's large-stride access share;
+    * cold/ring footprints follow the scaled working set, clamped to
+      practical power-of-two bands.
+    """
+    if duration_scale <= 0:
+        raise GenerationError(f"duration_scale must be positive, got {duration_scale}")
+    miss_rate = max(0.0, 1.0 - profile.l1_hit_rate)
+    p_cold = min(0.6, 1.3 * miss_rate)
+    irregular = profile.stride_hist[-1] if profile.stride_hist else 0.0
+    p_ring = min(0.3, 0.4 * irregular)
+    if p_cold + p_ring > 0.85:
+        scale = 0.85 / (p_cold + p_ring)
+        p_cold *= scale
+        p_ring *= scale
+
+    ws_words = max(1.0, profile.working_set_bytes / 8.0) * min(
+        4.0, max(0.02, duration_scale)
+    )
+    cold_words = min(
+        _MAX_COLD_WORDS, max(_MIN_COLD_WORDS, _pow2_near(0.75 * ws_words))
+    )
+    if p_ring > 0.0:
+        ring_words = min(
+            _MAX_RING_WORDS, max(_MIN_RING_WORDS, _pow2_near(0.25 * ws_words))
+        )
+    else:
+        ring_words = 0
+
+    return MemoryPlan(
+        hot_words=HOT_WORDS,
+        cold_words=cold_words,
+        ring_words=ring_words,
+        p_cold=p_cold,
+        p_ring=p_ring,
+        fill_seed=mem_rng.next_u64(),
+    )

@@ -1,0 +1,80 @@
+"""Generator parameters — the consensus-level widget configuration.
+
+All miners of one HashCore chain must agree on these values (they are as
+much a consensus parameter as the difficulty target): changing any of them
+changes every widget and therefore every hash.
+
+The paper's widgets run for seconds of native x86 execution (millions of
+dynamic instructions).  A pure-Python interpreter executes ~1 M simulated
+instructions per second, so the defaults scale the widget down to tens of
+thousands of dynamic instructions while keeping every proportion — snapshot
+cadence per instruction, output size band (20-38 KB, §V), noise magnitude —
+the same.  ``full_scale()`` returns the paper-sized configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorParams:
+    """Tunable knobs of the widget generator."""
+
+    #: Mean target dynamic instruction count per widget (before the
+    #: seed-driven size jitter).
+    target_instructions: int = 60_000
+    #: Maximum positive noise each Table I field adds to its instruction
+    #: class, as a fraction of the class's profiled share (§IV-B: "each seed
+    #: will add some amount of noise to the widget generator").
+    noise_fraction: float = 0.10
+    #: Retired instructions between register snapshots ("every few thousand
+    #: instructions" at paper scale; scaled with the widget here).
+    snapshot_interval: int = 500
+    #: Mean number of basic blocks in the widget body.
+    mean_blocks: int = 12
+    #: Widget dynamic size jitter band (min, max multiplier), seeded from
+    #: the BBV field.  (0.65, 1.25) reproduces the paper's ~1.9x output-size
+    #: spread (20-38 KB) around the 60 k-instruction default.
+    size_jitter: tuple[float, float] = (0.65, 1.25)
+    #: Maximum number of inner loops in the widget body.
+    max_inner_loops: int = 2
+    #: Inner-loop trip-count band.
+    inner_trips: tuple[int, int] = (4, 12)
+    #: Fraction of blocks carrying a conditional guard.
+    guard_fraction: float = 0.7
+    #: Execution fuse safety factor over the expected dynamic size.
+    fuse_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.target_instructions < 1000:
+            raise ConfigError("target_instructions must be >= 1000")
+        if not 0.0 <= self.noise_fraction <= 1.0:
+            raise ConfigError("noise_fraction must be in [0, 1]")
+        if self.snapshot_interval < 1:
+            raise ConfigError("snapshot_interval must be >= 1")
+        if self.mean_blocks < 2:
+            raise ConfigError("mean_blocks must be >= 2")
+        lo, hi = self.size_jitter
+        if not 0.0 < lo <= hi:
+            raise ConfigError("size_jitter must satisfy 0 < lo <= hi")
+        lo_t, hi_t = self.inner_trips
+        if not 1 <= lo_t <= hi_t:
+            raise ConfigError("inner_trips must satisfy 1 <= lo <= hi")
+        if not 0.0 <= self.guard_fraction <= 1.0:
+            raise ConfigError("guard_fraction must be in [0, 1]")
+        if self.fuse_factor < 1.5:
+            raise ConfigError("fuse_factor must be >= 1.5")
+
+    @classmethod
+    def full_scale(cls) -> "GeneratorParams":
+        """Paper-scale widgets: millions of instructions, snapshots every
+        few thousand (only practical on a compiled substrate)."""
+        return cls(target_instructions=4_000_000, snapshot_interval=40_000)
+
+    @classmethod
+    def test_scale(cls) -> "GeneratorParams":
+        """Small widgets for fast unit tests."""
+        return cls(target_instructions=6_000, snapshot_interval=200)

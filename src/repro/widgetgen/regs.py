@@ -1,0 +1,46 @@
+"""Register conventions shared by the widget generator and code generator.
+
+The 16 integer registers are fully allocated:
+
+======  =======================================================
+r0      hot-region pointer
+r1      widget PRNG state (xorshift64, seeded from the hash seed)
+r2      outer-loop counter
+r3      inner-loop counter
+r4      cold-region pointer
+r5      pointer-chase register (holds an absolute ring address)
+r6-r9   integer dataflow registers
+r10     guard-test scratch
+r11     guard threshold "hi"
+r12     guard threshold "mid"
+r13     hot-region mask
+r14     cold-region mask
+r15     multiplier constant
+======  =======================================================
+
+f0-f5 are floating-point dataflow registers; v0-v3 are vector dataflow
+registers.
+"""
+
+HOT_PTR = 0
+PRNG = 1
+OUTER = 2
+INNER = 3
+COLD_PTR = 4
+RING_PTR = 5
+INT_DATA = (6, 7, 8, 9)
+TEST = 10
+THR_HI = 11
+THR_MID = 12
+HOT_MASK = 13
+COLD_MASK = 14
+MUL_CONST = 15
+
+FP_DATA = (0, 1, 2, 3, 4, 5)
+VEC_DATA = (0, 1, 2, 3)
+
+#: The "hi" guard threshold: exec_p ≈ 246/256 ≈ 0.961 (or its complement).
+THRESHOLD_HI = 246
+#: Base of the "mid" threshold; the Branch Behavior seed field adds ±24.
+THRESHOLD_MID_BASE = 128
+THRESHOLD_MID_SPAN = 24

@@ -1,0 +1,94 @@
+"""Workload interface: a program plus its deterministic memory image."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.isa.program import Program
+from repro.machine.cpu import ExecutionResult, Machine
+from repro.machine.memory import Memory
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryDirective:
+    """One deterministic memory-initialisation step.
+
+    ``kind`` is one of ``"random"`` (SplitMix64 fill), ``"ring"``
+    (pointer-chasing cycle), or ``"value"`` (constant fill); ``seed`` doubles
+    as the constant for ``"value"``.
+    """
+
+    kind: str
+    seed: int
+    start: int
+    count: int
+
+    def apply(self, memory: Memory) -> None:
+        if self.kind == "random":
+            memory.fill_random(self.seed, self.start, self.count)
+        elif self.kind == "ring":
+            memory.fill_pointer_ring(self.seed, self.start, self.count)
+        elif self.kind == "value":
+            memory.fill_value(self.seed, self.start, self.count)
+        else:
+            raise ConfigError(f"unknown memory directive {self.kind!r}")
+
+
+@dataclass(slots=True)
+class WorkloadImage:
+    """Everything needed to run a workload: program + memory recipe."""
+
+    program: Program
+    memory_init: list[MemoryDirective] = field(default_factory=list)
+    #: Upper bound on dynamic instructions, used as the execution fuse.
+    instruction_budget: int = 10_000_000
+
+    def instantiate_memory(self, machine: Machine) -> Memory:
+        """Build and initialise a memory image for ``machine``."""
+        memory = machine.new_memory()
+        for directive in self.memory_init:
+            directive.apply(memory)
+        return memory
+
+    def run(
+        self,
+        machine: Machine,
+        *,
+        snapshot_interval: int = 0,
+        collect_detail: bool = False,
+    ) -> ExecutionResult:
+        """Instantiate memory and execute the program on ``machine``."""
+        memory = self.instantiate_memory(machine)
+        return machine.run(
+            self.program,
+            memory,
+            max_instructions=self.instruction_budget,
+            snapshot_interval=snapshot_interval,
+            collect_detail=collect_detail,
+        )
+
+
+class Workload(abc.ABC):
+    """A named, scalable reference workload.
+
+    ``scale`` multiplies the dynamic instruction count roughly linearly;
+    ``scale=1`` targets a few hundred thousand instructions — large enough
+    for stable counter statistics, small enough for an interpreted run.
+    """
+
+    #: Short identifier used by the suite registry and CLI examples.
+    name: str = "workload"
+    #: One-line description shown in reports.
+    description: str = ""
+    #: The SPEC CPU 2017 benchmark this workload stands in for.
+    spec_counterpart: str = ""
+
+    @abc.abstractmethod
+    def build(self, scale: int = 1) -> WorkloadImage:
+        """Construct the program and memory recipe for ``scale``."""
+
+    def _check_scale(self, scale: int) -> None:
+        if scale < 1:
+            raise ConfigError(f"{self.name}: scale must be >= 1, got {scale}")

@@ -1,0 +1,95 @@
+"""Compression-like workload: LZ hash-chain match kernel.
+
+Counterpart of SPEC CPU 2017 *657.xz_s*.  LZ-family compressors spend their
+time hashing the input window, probing a hash table for match candidates,
+and extending matches byte-by-byte.  The kernel reproduces that shape:
+
+* sequential streaming reads of the input window (unit-stride loads),
+* multiplicative hashing (integer multiply + shifts),
+* scattered hash-table loads and stores (low-locality accesses over a
+  256 KiB table),
+* a rarely-taken match branch followed by a variable-length match-extension
+  loop when it hits.
+
+The mix is integer ALU + multiply with a high load/store share and mostly
+predictable branches — IPC sits below the Leela kernel because the table
+accesses miss L1 frequently.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import MemoryDirective, Workload, WorkloadImage
+
+#: Memory layout (word addresses).
+WINDOW_BASE = 0
+WINDOW_WORDS = 1 << 16  # 512 KiB input window
+WINDOW_MASK = WINDOW_WORDS - 1
+HASH_BASE = 1 << 17
+HASH_WORDS = 1 << 15  # 256 KiB hash table
+HASH_MASK = HASH_WORDS - 1
+
+_POSITIONS_PER_SCALE = 12_000
+
+
+class CompressWorkload(Workload):
+    """LZ-style hash-chain compressor kernel."""
+
+    name = "compress"
+    description = "LZ hash-chain match kernel (xz-like)"
+    spec_counterpart = "657.xz_s"
+
+    def build(self, scale: int = 1) -> WorkloadImage:
+        self._check_scale(scale)
+        b = ProgramBuilder(self.name)
+
+        # r2 position loop counter, r3 current position, r6 current word,
+        # r7 match count / checksum, r8 zero, r9 hash, r10 candidate pos,
+        # r11 candidate word, r12 scratch, r13 window mask, r14 hash mask,
+        # r15 hash multiplier.
+        b.movi(3, 0)
+        b.movi(7, 0)
+        b.movi(8, 0)
+        b.movi(13, WINDOW_MASK)
+        b.movi(14, HASH_MASK)
+        b.movi(15, 0x9E3779B1)
+
+        with b.loop(2, _POSITIONS_PER_SCALE * scale):
+            # Stream the window; reduce to 10 bits of entropy so that hash
+            # collisions (and therefore matches) actually occur, as they do
+            # on real compressible input.
+            b.and_(12, 3, 13)
+            b.load(6, 12, WINDOW_BASE)
+            b.andi(6, 6, 1023)
+            # Multiplicative hash of the current word.
+            b.mul(9, 6, 15)
+            b.shri(9, 9, 17)
+            b.and_(9, 9, 14)
+            # Probe and update the hash table.
+            b.load(10, 9, HASH_BASE)
+            b.store(3, 9, HASH_BASE)
+            # Fetch the candidate's data and compare.
+            b.and_(10, 10, 13)
+            b.load(11, 10, WINDOW_BASE)
+            b.andi(11, 11, 1023)
+            with b.if_eq(11, 6):  # occasional match: extend it
+                # Match length from low bits of the data (1..8 iterations).
+                b.andi(12, 6, 7)
+                b.addi(12, 12, 1)
+                with b.loop(12, None):
+                    b.addi(10, 10, 1)
+                    b.and_(10, 10, 13)
+                    b.load(11, 10, WINDOW_BASE)
+                    b.add(7, 7, 11)
+            # Literal path bookkeeping.
+            b.xor(7, 7, 6)
+            b.addi(3, 3, 1)
+
+        return WorkloadImage(
+            program=b.build(),
+            memory_init=[
+                MemoryDirective("random", 0xC0DEC, WINDOW_BASE, WINDOW_WORDS),
+                MemoryDirective("value", 0, HASH_BASE, HASH_WORDS),
+            ],
+            instruction_budget=20_000_000 * scale,
+        )

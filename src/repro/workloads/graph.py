@@ -1,0 +1,63 @@
+"""Pointer-chasing workload: latency-bound sparse graph traversal.
+
+Counterpart of SPEC CPU 2017 *605.mcf_s* (network simplex over huge sparse
+graphs): long chains of dependent loads over a working set far larger than
+L2, where the core spends most cycles waiting on the memory hierarchy and
+IPC collapses well below 1.  The kernel walks a random pointer ring spanning
+8 MiB (hits L3, frequently DRAM on cold lines) with a dependent per-node
+weight lookup and a data-dependent accumulation branch.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import MemoryDirective, Workload, WorkloadImage
+
+#: Memory layout (word addresses).
+RING_BASE = 0
+RING_WORDS = 1 << 14  # 128 KiB pointer ring — misses L1, lives in L2/L3
+WEIGHT_BASE = 1 << 17
+WEIGHT_WORDS = 1 << 15  # 256 KiB of node weights — pushes L2 into conflict
+WEIGHT_MASK = WEIGHT_WORDS - 1
+
+_HOPS_PER_SCALE = 40_000
+
+
+class GraphWorkload(Workload):
+    """Dependent-load pointer chase with per-node bookkeeping."""
+
+    name = "graph"
+    description = "pointer-chasing sparse traversal (mcf-like)"
+    spec_counterpart = "605.mcf_s"
+
+    def build(self, scale: int = 1) -> WorkloadImage:
+        self._check_scale(scale)
+        b = ProgramBuilder(self.name)
+
+        # r2 hop counter, r5 current node pointer, r6 weight, r7 total cost,
+        # r8 zero, r9 weight index, r10 scratch, r14 weight mask.
+        b.movi(5, RING_BASE)
+        b.movi(7, 0)
+        b.movi(8, 0)
+        b.movi(14, WEIGHT_MASK)
+
+        with b.loop(2, _HOPS_PER_SCALE * scale):
+            # The chase: each load's address depends on the previous load.
+            b.load(5, 5, 0)
+            # Dependent weight lookup for the visited node.
+            b.and_(9, 5, 14)
+            b.load(6, 9, WEIGHT_BASE)
+            b.add(7, 7, 6)
+            # Data-dependent branch on the node weight (~50/50).
+            b.andi(10, 6, 1)
+            with b.if_ne(10, 8):
+                b.xor(7, 7, 5)
+
+        return WorkloadImage(
+            program=b.build(),
+            memory_init=[
+                MemoryDirective("ring", 0x6EAF, RING_BASE, RING_WORDS),
+                MemoryDirective("random", 0x13C5, WEIGHT_BASE, WEIGHT_WORDS),
+            ],
+            instruction_budget=10_000_000 * scale,
+        )

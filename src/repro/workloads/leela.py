@@ -1,0 +1,110 @@
+"""Leela-like workload: branchy integer MCTS Go-engine kernel.
+
+This is the reproduction's counterpart of SPEC CPU 2017 *641.leela_s*, the
+workload the paper profiles (§V).  Leela spends its time in Monte-Carlo tree
+search: pseudo-random move selection over a board, per-point state updates,
+pattern lookups, and visit-count bookkeeping in tree nodes — integer-ALU
+dominated, branch-heavy, with a working set that lives comfortably in the
+cache hierarchy.  The kernel below reproduces those behaviours:
+
+* an in-register xorshift64 PRNG drives move selection (int ALU + shifts),
+* board reads/modifies/writes at random points (small hot array),
+* a data-dependent ~25 %-taken branch gates tree-node updates
+  (hard-to-predict, like Leela's in-tree decisions),
+* a ~94 %-taken biased branch accumulates playout scores,
+* a pattern-table lookup adds a second load stream,
+* a short floating-point evaluation runs once per playout (Leela's
+  winrate arithmetic is a small fraction of its mix).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import MemoryDirective, Workload, WorkloadImage
+
+#: Memory layout (word addresses).
+BOARD_BASE = 0
+BOARD_WORDS = 512  # 19x19 = 361 points, rounded up
+PATTERN_BASE = 512
+PATTERN_WORDS = 512
+TREE_BASE = 4096
+TREE_WORDS = 32768  # 256 KiB of tree nodes
+TREE_MASK = TREE_WORDS - 1
+
+_MOVES_PER_PLAYOUT = 48
+_PLAYOUTS_PER_SCALE = 220
+
+
+class LeelaWorkload(Workload):
+    """MCTS Go-engine kernel (the paper's profiled workload)."""
+
+    name = "leela"
+    description = "branchy integer MCTS kernel (Go engine)"
+    spec_counterpart = "641.leela_s"
+
+    def build(self, scale: int = 1) -> WorkloadImage:
+        self._check_scale(scale)
+        b = ProgramBuilder(self.name)
+
+        # r1 PRNG state, r2 playout counter, r3 move counter, r5 position,
+        # r6 board value, r7 integer score, r8 zero, r9 tree index,
+        # r10-r12 scratch, r13 board size, r14 tree mask, r15 hash constant.
+        b.movi(1, 0x9E3779B97F4A7C15 - (1 << 64))  # MOVI sign-extends; masked on write
+        b.movi(7, 0)
+        b.movi(8, 0)
+        b.movi(13, 361)
+        b.movi(14, TREE_MASK)
+        b.movi(15, 2654435761)
+        b.cvtif(3, 13)  # f3 = 361.0 — FP eval constant
+        b.movi(4, 0)
+
+        with b.loop(2, _PLAYOUTS_PER_SCALE * scale):
+            with b.loop(3, _MOVES_PER_PLAYOUT):
+                # xorshift64 step.
+                b.shli(10, 1, 13)
+                b.xor(1, 1, 10)
+                b.shri(10, 1, 7)
+                b.xor(1, 1, 10)
+                b.shli(10, 1, 17)
+                b.xor(1, 1, 10)
+                # Random board point: read-modify-write.
+                b.mod(5, 1, 13)
+                b.load(6, 5, BOARD_BASE)
+                b.addi(6, 6, 1)
+                b.store(6, 5, BOARD_BASE)
+                # Data-dependent tree update (~12% taken, hard to predict).
+                b.andi(10, 6, 7)
+                with b.if_eq(10, 8):
+                    # Node index mixes the PRNG state so the whole tree is
+                    # visited, not just 361 slots.
+                    b.mul(9, 1, 15)
+                    b.xor(9, 9, 5)
+                    b.and_(9, 9, 14)
+                    b.load(10, 9, TREE_BASE)
+                    b.addi(10, 10, 1)
+                    b.store(10, 9, TREE_BASE)
+                # Biased score accumulation (~94% taken).
+                b.andi(10, 1, 15)
+                with b.if_ne(10, 8):
+                    b.add(7, 7, 6)
+                # Pattern-table lookup.
+                b.shri(11, 1, 23)
+                b.andi(11, 11, PATTERN_WORDS - 1)
+                b.load(12, 11, PATTERN_BASE)
+                b.xor(7, 7, 12)
+            # Per-playout winrate evaluation (small FP tail).
+            b.cvtif(1, 7)
+            b.fdiv(2, 1, 3)
+            b.fadd(0, 0, 2)
+        # Fold the FP score back into the integer result.
+        b.cvtfi(7, 0)
+
+        return WorkloadImage(
+            program=b.build(),
+            memory_init=[
+                MemoryDirective("value", 0, BOARD_BASE, BOARD_WORDS),
+                MemoryDirective("random", 0x1EE1A, PATTERN_BASE, PATTERN_WORDS),
+                MemoryDirective("random", 0x7EE7, TREE_BASE, TREE_WORDS),
+            ],
+            instruction_budget=40_000_000 * scale,
+        )

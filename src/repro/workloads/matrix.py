@@ -1,0 +1,65 @@
+"""Floating-point stencil workload: streaming FP/vector sweeps.
+
+Counterpart of SPEC CPU 2017's FP-speed codes (*603.bwaves_s* /
+*619.lbm_s*).  These spend their cycles in regular loop nests over large
+arrays: fused multiply-adds, unit-stride streams, almost no unpredictable
+control flow.  The kernel sweeps three arrays with a vector FMA stream plus
+a scalar reduction tail, giving the high-ILP, high-branch-accuracy,
+FP-dominated profile characteristic of that benchmark class.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import MemoryDirective, Workload, WorkloadImage
+
+#: Memory layout (word addresses).
+A_BASE = 0
+B_BASE = 1 << 14
+C_BASE = 1 << 15
+ARRAY_WORDS = 1 << 14  # 128 KiB per array; 3 arrays stream through L2
+
+_SWEEPS_PER_SCALE = 6
+_STEPS_PER_SWEEP = ARRAY_WORDS // 4
+
+
+class MatrixWorkload(Workload):
+    """Streaming FP stencil with vector FMAs and a scalar reduction."""
+
+    name = "matrix"
+    description = "FP/vector stencil sweep (bwaves/lbm-like)"
+    spec_counterpart = "603.bwaves_s"
+
+    def build(self, scale: int = 1) -> WorkloadImage:
+        self._check_scale(scale)
+        b = ProgramBuilder(self.name)
+
+        # r2 sweep counter, r3 element index, r4 step counter; f0 reduction
+        # accumulator, f4 stencil coefficient; v0-v2 stream registers.
+        b.movi(5, 3)
+        b.cvtif(4, 5)       # f4 = 3.0 — stencil coefficient
+        with b.loop(2, _SWEEPS_PER_SCALE * scale):
+            b.movi(3, 0)
+            with b.loop(4, _STEPS_PER_SWEEP):
+                # Vector stream: C[i..i+3] += A * B (accumulate in v2).
+                b.vload(0, 3, A_BASE)
+                b.vload(1, 3, B_BASE)
+                b.vload(2, 3, C_BASE)
+                b.vfma(2, 0, 1)
+                b.vstore(2, 3, C_BASE)
+                # Scalar stencil tail: the multiply runs off the critical
+                # path; only the 3-cycle add chains across iterations.
+                b.fload(1, 3, A_BASE)
+                b.fmul(2, 1, 4)
+                b.fadd(0, 0, 2)
+                b.addi(3, 3, 4)
+
+        return WorkloadImage(
+            program=b.build(),
+            memory_init=[
+                MemoryDirective("random", 0xB44E5, A_BASE, ARRAY_WORDS),
+                MemoryDirective("random", 0x1B31, B_BASE, ARRAY_WORDS),
+                MemoryDirective("value", 0, C_BASE, ARRAY_WORDS),
+            ],
+            instruction_budget=20_000_000 * scale,
+        )

@@ -1,0 +1,102 @@
+"""Media workload: motion-estimation SAD search (x264-like).
+
+Counterpart of SPEC CPU 2017 *625.x264_s*.  Video encoders spend much of
+their time in motion estimation: for each current block, compute the sum
+of absolute differences (SAD) against many candidate blocks and keep the
+best.  The kernel reproduces that shape:
+
+* streaming reads of the current block (unit stride, L1-resident),
+* scattered candidate reads across a reference frame (PRNG-driven motion
+  vectors over a few hundred KB),
+* abs-difference via the branchless MIN/MAX/SUB idiom (integer ALU),
+* a data-dependent "new best?" branch per candidate (moderately biased —
+  improvements get rarer as the search proceeds),
+* an early-exit branch when the SAD is already worse than the best.
+
+The mix lands between Leela and compress: integer-ALU heavy with a high
+load share, moderate branch density, and mid-range locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import MemoryDirective, Workload, WorkloadImage
+
+#: Memory layout (word addresses).
+CURRENT_BASE = 0
+BLOCK_WORDS = 16
+FRAME_BASE = 1 << 10
+FRAME_WORDS = 1 << 15  # 256 KiB reference frame
+FRAME_MASK = FRAME_WORDS - BLOCK_WORDS - 1
+
+_CANDIDATES_PER_BLOCK = 24
+_BLOCKS_PER_SCALE = 130
+
+
+class MediaWorkload(Workload):
+    """Motion-estimation SAD search kernel."""
+
+    name = "media"
+    description = "motion-estimation SAD search (x264-like)"
+    spec_counterpart = "625.x264_s"
+
+    def build(self, scale: int = 1) -> WorkloadImage:
+        self._check_scale(scale)
+        b = ProgramBuilder(self.name)
+
+        # r1 PRNG, r2 block counter, r3 candidate counter, r4 lane counter,
+        # r5 candidate base, r6 SAD accumulator, r7 best SAD, r8 current
+        # word, r9 candidate word, r10/r11 scratch, r12 lane index,
+        # r13 frame mask, r14 best-motion-vector, r15 checksum.
+        b.movi(1, 0x2545F4914F6CDD1D)
+        b.movi(13, FRAME_MASK & ~7)  # 8-word-aligned candidates
+        b.movi(15, 0)
+
+        with b.loop(2, _BLOCKS_PER_SCALE * scale):
+            b.movi(7, 1 << 30)  # best SAD so far: +inf
+            with b.loop(3, _CANDIDATES_PER_BLOCK):
+                # Motion vector from the PRNG (xorshift64).
+                b.shli(10, 1, 13)
+                b.xor(1, 1, 10)
+                b.shri(10, 1, 7)
+                b.xor(1, 1, 10)
+                b.shli(10, 1, 17)
+                b.xor(1, 1, 10)
+                b.and_(5, 1, 13)
+                # SAD over 4 lanes of 4 words (partially unrolled).
+                b.movi(6, 0)
+                b.movi(12, 0)
+                with b.loop(4, 4):
+                    for unroll in range(4):
+                        b.add(11, 12, 5)
+                        b.load(9, 11, FRAME_BASE + unroll)
+                        b.load(8, 12, CURRENT_BASE + unroll)
+                        # Pixel-like 8-bit samples, as in real SAD.
+                        b.andi(9, 9, 255)
+                        b.andi(8, 8, 255)
+                        # |a-b| = max(a,b) - min(a,b), branchless.
+                        b.max_(10, 8, 9)
+                        b.min_(11, 8, 9)
+                        b.sub(10, 10, 11)
+                        b.add(6, 6, 10)
+                    b.addi(12, 12, 4)
+                    # Early exit when this candidate is already worse.
+                    b.bge(6, 7, "reject")
+                # New best? (data-dependent, gets rarer over the search)
+                with b.if_lt(6, 7):
+                    b.mov(7, 6)
+                    b.mov(14, 5)
+                b.label("reject")
+                b.xor(15, 15, 6)
+            # Fold the winning vector into the checksum.
+            b.add(15, 15, 14)
+            b.xor(15, 15, 7)
+
+        return WorkloadImage(
+            program=b.build(),
+            memory_init=[
+                MemoryDirective("random", 0xC0FFEE, CURRENT_BASE, BLOCK_WORDS),
+                MemoryDirective("random", 0xF4A3E, FRAME_BASE, FRAME_WORDS),
+            ],
+            instruction_budget=40_000_000 * scale,
+        )

@@ -1,0 +1,29 @@
+"""Workload suite registry."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.graph import GraphWorkload
+from repro.workloads.leela import LeelaWorkload
+from repro.workloads.matrix import MatrixWorkload
+from repro.workloads.media import MediaWorkload
+
+#: All reference workloads, keyed by name.  ``leela`` is the paper's
+#: profiled workload; the rest cover the other SPEC behaviour classes and
+#: are used by the extension experiments.
+SUITE: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (LeelaWorkload, CompressWorkload, MatrixWorkload, GraphWorkload, MediaWorkload)
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload from the suite by name."""
+    try:
+        return SUITE[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {sorted(SUITE)}"
+        ) from None

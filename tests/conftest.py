@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (the reference machine, the measured Leela profile, a
+small widget population) are session-scoped so the suite stays fast while
+many tests share them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.default_profile import default_profile
+from repro.core.seed import HashSeed
+from repro.machine.cpu import Machine
+from repro.widgetgen.generator import WidgetGenerator
+from repro.widgetgen.params import GeneratorParams
+
+
+def seed_of(tag: str | int) -> HashSeed:
+    """Deterministic test seed derived from a tag."""
+    return HashSeed(hashlib.sha256(str(tag).encode()).digest())
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    """The Ivy-Bridge-like reference machine."""
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def leela_profile():
+    """The baked consensus profile (identical to a fresh Leela measurement;
+    ``test_default_profile_matches_measurement`` enforces that)."""
+    return default_profile()
+
+
+@pytest.fixture(scope="session")
+def test_params() -> GeneratorParams:
+    """Small, fast widget parameters for unit tests."""
+    return GeneratorParams.test_scale()
+
+
+@pytest.fixture(scope="session")
+def generator(leela_profile, test_params) -> WidgetGenerator:
+    """Widget generator at test scale against the Leela profile."""
+    return WidgetGenerator(leela_profile, test_params)
+
+
+@pytest.fixture(scope="session")
+def widget_population(generator, machine):
+    """Twelve executed test-scale widgets: [(widget, result), ...]."""
+    population = []
+    for i in range(12):
+        widget = generator.widget(seed_of(i))
+        population.append((widget, widget.execute(machine)))
+    return population

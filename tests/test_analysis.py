@@ -1,0 +1,159 @@
+"""Analysis utilities tests."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import (
+    ascii_histogram,
+    gaussian_fit,
+    ks_distance,
+    summarize,
+)
+from repro.errors import ReproError
+from repro.rng import Xoshiro256
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.n == 5
+
+    def test_single_point(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.p25 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_percentiles_ordered(self):
+        rng = Xoshiro256(1)
+        sample = [rng.random() for _ in range(500)]
+        summary = summarize(sample)
+        assert summary.minimum <= summary.p25 <= summary.median
+        assert summary.median <= summary.p75 <= summary.maximum
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestGaussianFit:
+    def test_recovers_parameters(self):
+        import math
+
+        rng = Xoshiro256(2)
+        # Box-Muller from our PRNG: N(10, 2).
+        sample = []
+        for _ in range(4000):
+            u1 = max(rng.random(), 1e-12)
+            u2 = rng.random()
+            z = math.sqrt(-2 * math.log(u1)) * math.cos(2 * math.pi * u2)
+            sample.append(10 + 2 * z)
+        mean, std = gaussian_fit(sample)
+        assert mean == pytest.approx(10, abs=0.2)
+        assert std == pytest.approx(2, abs=0.2)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ReproError):
+            gaussian_fit([1.0])
+
+
+class TestKs:
+    def test_identical_samples_distance_zero(self):
+        sample = [1.0, 2.0, 3.0]
+        assert ks_distance(sample, sample) == 0.0
+
+    def test_disjoint_samples_distance_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_symmetry(self):
+        a = [1.0, 3.0, 5.0, 7.0]
+        b = [2.0, 3.5, 6.0]
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ks_distance([], [1.0])
+
+
+class TestHistogram:
+    def test_renders_all_bins(self):
+        text = ascii_histogram([1.0, 2.0, 2.0, 3.0], bins=4)
+        assert len(text.splitlines()) == 4
+
+    def test_marker_annotated(self):
+        text = ascii_histogram([1.0, 2.0, 3.0], bins=3, marker=2.0, marker_label="ref")
+        assert "<- ref" in text
+
+    def test_marker_outside_range_extends_axis(self):
+        text = ascii_histogram([1.0, 2.0], bins=4, marker=10.0)
+        assert "<-" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_histogram([])
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123.456]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text
+        assert "123.5" in text  # 4 significant digits
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+
+
+class TestSvgHistogram:
+    def test_well_formed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.analysis.svg import histogram_svg
+
+        svg = histogram_svg([1.0, 2.0, 2.5, 3.0], bins=4, title="t",
+                            x_label="x", marker=2.0)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_bars_and_marker_present(self):
+        from repro.analysis.svg import histogram_svg
+
+        svg = histogram_svg([1.0, 1.1, 5.0], bins=4, marker=3.0,
+                            marker_label="Leela")
+        assert svg.count('class="bar"') == 2  # two non-empty bins
+        assert 'class="marker"' in svg
+        assert "Leela" in svg
+
+    def test_title_escaped(self):
+        from repro.analysis.svg import histogram_svg
+
+        svg = histogram_svg([1.0], bins=2, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_save_writes_file(self, tmp_path):
+        from repro.analysis.svg import save_histogram
+
+        path = tmp_path / "h.svg"
+        save_histogram(path, [1.0, 2.0], bins=3)
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_rejected(self):
+        from repro.analysis.svg import histogram_svg
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            histogram_svg([])

@@ -1,0 +1,153 @@
+"""ASIC-advantage model tests — the §II/§III economics."""
+
+import pytest
+
+from repro.asicmodel.advantage import (
+    AsicModel,
+    PowTraits,
+    utilization_from_counters,
+)
+from repro.asicmodel.resources import GPP_RESOURCES, total_area, total_power
+from repro.baselines.randomx_like import RandomXLike
+from repro.baselines.scrypt_like import ScryptLike
+from repro.baselines.sha256d import Sha256d
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AsicModel()
+
+
+@pytest.fixture(scope="module")
+def hashcore_advantage(model, widget_population, machine):
+    # Average utilization over the shared widget population.
+    totals: dict[str, float] = {}
+    for _, result in widget_population:
+        u = utilization_from_counters(result.counters, machine.config)
+        for key, value in u.items():
+            totals[key] = totals.get(key, 0.0) + value
+    mean_u = {k: v / len(widget_population) for k, v in totals.items()}
+    return model.advantage(
+        "hashcore", mean_u, PowTraits(fixed_function=False, requires_generation=True)
+    )
+
+
+class TestResources:
+    def test_inventory_totals_positive(self):
+        assert total_area() > 0
+        assert total_power() > 0
+
+    def test_llc_is_largest_block(self):
+        # Die-shot reality check: L3 dominates a server die.
+        biggest = max(GPP_RESOURCES, key=lambda r: r.area)
+        assert biggest.name == "l3"
+
+    def test_programmability_resources_marked(self):
+        marked = {r.name for r in GPP_RESOURCES if r.programmability}
+        assert marked == {"frontend", "branch_predictor", "ooo_window"}
+
+
+class TestAdvantageModel:
+    def test_sha256d_has_huge_advantage(self, model):
+        adv = model.advantage(
+            "sha256d", Sha256d.resource_profile(), PowTraits(fixed_function=True)
+        )
+        assert adv.area_advantage > 30
+        assert adv.energy_advantage > 20
+
+    def test_scrypt_advantage_smaller_than_sha(self, model):
+        sha = model.advantage(
+            "sha256d", Sha256d.resource_profile(), PowTraits(fixed_function=True)
+        )
+        scrypt = model.advantage(
+            "scrypt", ScryptLike(n=1024).resource_profile(), PowTraits(fixed_function=True)
+        )
+        assert 1 < scrypt.area_advantage < sha.area_advantage
+
+    def test_hashcore_advantage_near_one(self, hashcore_advantage):
+        """The paper's headline claim: the GPP is already a near-optimal
+        ASIC for HashCore."""
+        assert hashcore_advantage.area_advantage < 2.0
+        assert hashcore_advantage.energy_advantage < 2.0
+
+    def test_hashcore_beats_every_baseline(self, model, hashcore_advantage, machine):
+        baselines = {
+            "sha256d": (Sha256d.resource_profile(), PowTraits(True)),
+            "scrypt": (ScryptLike(n=1024).resource_profile(), PowTraits(True)),
+        }
+        rx = RandomXLike(program_size=64, loop_trips=8)
+        _, counters = rx.run(b"\x07" * 32)
+        baselines["randomx"] = (
+            utilization_from_counters(counters, rx.machine.config),
+            PowTraits(False),
+        )
+        for name, (profile, traits) in baselines.items():
+            adv = model.advantage(name, profile, traits)
+            assert (
+                hashcore_advantage.area_advantage <= adv.area_advantage + 0.15
+            ), name
+
+    def test_random_code_keeps_programmability(self, model):
+        # Even with tiny utilization, a random-code PoW cannot drop the
+        # frontend / OoO machinery.
+        u = {r.name: 0.1 for r in GPP_RESOURCES}
+        adv = model.advantage("rnd", u, PowTraits(fixed_function=False))
+        assert "frontend" in adv.kept
+        assert "ooo_window" in adv.kept
+
+    def test_fixed_function_drops_programmability(self, model):
+        u = {r.name: 0.9 for r in GPP_RESOURCES}
+        adv = model.advantage("fix", u, PowTraits(fixed_function=True))
+        assert "frontend" not in adv.kept
+        assert "branch_predictor" not in adv.kept
+
+    def test_branchless_random_code_drops_predictor(self, model):
+        u = {r.name: 0.5 for r in GPP_RESOURCES}
+        u["branch_predictor"] = 0.0
+        adv = model.advantage("rx", u, PowTraits(fixed_function=False))
+        assert "branch_predictor" not in adv.kept
+
+    def test_generation_requirement_costs_area(self, model):
+        u = {r.name: 0.5 for r in GPP_RESOURCES}
+        without = model.advantage("a", u, PowTraits(False, requires_generation=False))
+        with_gen = model.advantage("b", u, PowTraits(False, requires_generation=True))
+        assert with_gen.asic_area > without.asic_area
+        assert with_gen.area_advantage < without.area_advantage
+
+    def test_monotonic_in_utilization(self, model):
+        low = {r.name: 0.1 for r in GPP_RESOURCES}
+        high = {r.name: 0.9 for r in GPP_RESOURCES}
+        adv_low = model.advantage("low", low, PowTraits(True))
+        adv_high = model.advantage("high", high, PowTraits(True))
+        assert adv_low.area_advantage >= adv_high.area_advantage
+
+    def test_out_of_range_utilization_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.advantage("bad", {"int_alu": 1.5}, PowTraits(True))
+
+    def test_row_renders(self, model):
+        adv = model.advantage("x", Sha256d.resource_profile(), PowTraits(True))
+        assert "x" in adv.row()
+
+
+class TestUtilizationMeasurement:
+    def test_values_in_unit_interval(self, widget_population, machine):
+        for _, result in widget_population:
+            u = utilization_from_counters(result.counters, machine.config)
+            for key, value in u.items():
+                assert 0.0 <= value <= 1.0, key
+
+    def test_widgets_exercise_table_one_resources(self, widget_population, machine):
+        """§IV-A chip utilization: the structures Table I targets all see
+        real work from the widget population."""
+        totals: dict[str, float] = {}
+        for _, result in widget_population:
+            for key, value in utilization_from_counters(
+                result.counters, machine.config
+            ).items():
+                totals[key] = totals.get(key, 0.0) + value
+        mean = {k: v / len(widget_population) for k, v in totals.items()}
+        for resource in ("frontend", "int_alu", "int_mul", "branch_predictor",
+                         "ooo_window", "l1", "l2"):
+            assert mean[resource] > 0.02, resource

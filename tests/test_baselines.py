@@ -1,0 +1,170 @@
+"""Baseline PoW function tests."""
+
+import hashlib
+
+import pytest
+
+from repro.baselines.equihash_like import EquihashLike
+from repro.baselines.randomx_like import RandomXLike
+from repro.baselines.scrypt_like import ScryptLike, salsa20_8
+from repro.baselines.sha256d import Sha256d
+from repro.errors import PowError
+
+
+class TestSha256d:
+    def test_matches_reference(self):
+        expected = hashlib.sha256(hashlib.sha256(b"hello").digest()).digest()
+        assert Sha256d().hash(b"hello") == expected
+
+    def test_resource_profile_is_alu_only(self):
+        profile = Sha256d.resource_profile()
+        assert profile["int_alu"] > 0.5
+        assert profile["fp"] == 0.0
+        assert profile["l3"] == 0.0
+
+
+class TestSalsa:
+    def test_known_zero_vector(self):
+        # Salsa20 core of the all-zero block is all zeros (feed-forward of
+        # zeros plus zero rounds).
+        assert salsa20_8([0] * 16) == [0] * 16
+
+    def test_diffusion(self):
+        out = salsa20_8([1] + [0] * 15)
+        assert out != [1] + [0] * 15
+        assert sum(1 for w in out if w != 0) > 8
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PowError):
+            salsa20_8([0] * 15)
+
+    def test_outputs_are_u32(self):
+        out = salsa20_8(list(range(16)))
+        assert all(0 <= w < 2**32 for w in out)
+
+
+class TestScryptLike:
+    def test_deterministic(self):
+        assert ScryptLike(n=64).hash(b"x") == ScryptLike(n=64).hash(b"x")
+
+    def test_input_sensitivity(self):
+        fn = ScryptLike(n=64)
+        assert fn.hash(b"x") != fn.hash(b"y")
+
+    def test_n_changes_output(self):
+        assert ScryptLike(n=64).hash(b"x") != ScryptLike(n=128).hash(b"x")
+
+    def test_memory_grows_with_n(self):
+        assert ScryptLike(n=512).memory_bytes() == 4 * ScryptLike(n=128).memory_bytes()
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(PowError):
+            ScryptLike(n=100)
+
+    def test_resource_profile_memory_heavy(self):
+        profile = ScryptLike(n=1024).resource_profile()
+        assert profile["l1"] > 0.5
+        assert profile["fp"] == 0.0
+
+    def test_digest_is_32_bytes(self):
+        assert len(ScryptLike(n=64).hash(b"abc")) == 32
+
+
+class TestEquihashLike:
+    def test_parameters_validated(self):
+        with pytest.raises(PowError):
+            EquihashLike(n=49, k=3)  # (k+1) must divide n
+        with pytest.raises(PowError):
+            EquihashLike(n=48, k=0)
+
+    @staticmethod
+    def _solve_some(fn, tag):
+        """Solutions for the first of a few seeds that has any (a single
+        Wagner run finds none for some seeds, as in real Equihash)."""
+        for i in range(25):
+            seed = f"{tag}-{i}".encode()
+            solutions = fn.solve(seed)
+            if solutions:
+                return seed, solutions
+        raise AssertionError("no solutions across 25 seeds — solver broken")
+
+    def test_solver_finds_verified_solutions(self):
+        fn = EquihashLike(n=32, k=3)
+        seed, solutions = self._solve_some(fn, "verify")
+        for indices in solutions[:5]:
+            assert EquihashLike.verify_solution(seed, indices, 32, 3)
+
+    def test_solution_size_is_2_to_k(self):
+        fn = EquihashLike(n=32, k=3)
+        _, solutions = self._solve_some(fn, "size")
+        assert all(len(s) == 8 for s in solutions)
+
+    def test_verify_rejects_duplicates(self):
+        assert not EquihashLike.verify_solution(b"s", tuple([1] * 8), 32, 3)
+
+    def test_verify_rejects_wrong_xor(self):
+        assert not EquihashLike.verify_solution(b"s", tuple(range(8)), 32, 3)
+
+    def test_hash_deterministic_and_sensitive(self):
+        fn = EquihashLike(n=32, k=3)
+        assert fn.hash(b"a") == fn.hash(b"a")
+        assert fn.hash(b"a") != fn.hash(b"b")
+
+    def test_distinct_index_constraint_respected(self):
+        fn = EquihashLike(n=32, k=3)
+        _, solutions = self._solve_some(fn, "distinct")
+        for indices in solutions:
+            assert len(set(indices)) == len(indices)
+
+
+class TestRandomXLike:
+    @pytest.fixture(scope="class")
+    def fn(self):
+        return RandomXLike(program_size=64, loop_trips=16)
+
+    def test_deterministic(self, fn):
+        assert fn.hash(b"block") == fn.hash(b"block")
+
+    def test_input_sensitivity(self, fn):
+        assert fn.hash(b"block") != fn.hash(b"block2")
+
+    def test_program_is_pure_function_of_seed(self, fn):
+        seed = hashlib.sha256(b"p").digest()
+        assert (
+            fn.generate_program(seed).fingerprint()
+            == fn.generate_program(seed).fingerprint()
+        )
+
+    def test_different_seeds_different_programs(self, fn):
+        a = fn.generate_program(hashlib.sha256(b"1").digest())
+        b = fn.generate_program(hashlib.sha256(b"2").digest())
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_uniform_mix_across_units(self, fn):
+        """The RandomX philosophy: every execution unit sees real work."""
+        _, counters = fn.run(hashlib.sha256(b"mix").digest())
+        mix = counters.mix_fractions()
+        for key in ("int_alu", "int_mul", "fp_alu", "load", "store", "vector"):
+            assert mix[key] > 0.05, key
+
+    def test_few_branches_unlike_hashcore(self, fn):
+        # Counted loops only: branch share far below a Leela-like profile.
+        _, counters = fn.run(hashlib.sha256(b"br").digest())
+        assert counters.mix_fractions()["branch"] < 0.05
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(PowError):
+            RandomXLike(program_size=4)
+        with pytest.raises(PowError):
+            RandomXLike(loop_trips=0)
+
+
+class TestPowFunctionInterface:
+    def test_all_baselines_satisfy_protocol(self):
+        from repro.core.pow import PowFunction
+
+        for fn in (Sha256d(), ScryptLike(n=64), EquihashLike(n=32, k=3),
+                   RandomXLike(program_size=32, loop_trips=4)):
+            assert isinstance(fn, PowFunction)
+            digest = fn.hash(b"probe")
+            assert isinstance(digest, bytes) and len(digest) == 32

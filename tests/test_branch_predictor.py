@@ -1,0 +1,113 @@
+"""Branch predictor unit tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.branch_predictor import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    make_predictor,
+)
+
+
+def accuracy(predictor, stream):
+    """Run (pc, taken) pairs through predict/update; return accuracy."""
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestBimodal:
+    def test_learns_heavily_biased_branch(self):
+        stream = [(100, True)] * 1000
+        assert accuracy(BimodalPredictor(), stream) > 0.99
+
+    def test_learns_not_taken_bias(self):
+        stream = [(100, False)] * 1000
+        assert accuracy(BimodalPredictor(), stream) > 0.99
+
+    def test_hysteresis_tolerates_rare_flips(self):
+        # One flip every 20: 2-bit counters should not lose the bias.
+        stream = [(7, i % 20 != 0) for i in range(2000)]
+        assert accuracy(BimodalPredictor(), stream) > 0.9
+
+    def test_cannot_learn_alternating_pattern(self):
+        stream = [(7, bool(i % 2)) for i in range(2000)]
+        assert accuracy(BimodalPredictor(), stream) < 0.7
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = BimodalPredictor(table_bits=12)
+        for _ in range(10):
+            predictor.update(0, True)
+            predictor.update(1, False)
+        assert predictor.predict(0) is True
+        assert predictor.predict(1) is False
+
+    def test_reset_restores_initial_state(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(3, False)
+        predictor.reset()
+        assert predictor.predict(3) is True  # weakly-taken initial state
+
+    def test_bad_table_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(table_bits=0)
+
+
+class TestGshare:
+    def test_learns_biased_branch(self):
+        stream = [(100, True)] * 1000
+        assert accuracy(GsharePredictor(), stream) > 0.98
+
+    def test_learns_alternating_pattern_via_history(self):
+        # Global history makes T/N/T/N predictable — bimodal cannot do this.
+        stream = [(7, bool(i % 2)) for i in range(2000)]
+        assert accuracy(GsharePredictor(), stream) > 0.95
+
+    def test_learns_loop_exit_pattern(self):
+        # An 8-iteration loop: 7 taken then 1 not-taken, repeating.
+        stream = [(42, (i % 8) != 7) for i in range(4000)]
+        assert accuracy(GsharePredictor(), stream) > 0.9
+
+    def test_random_stream_near_chance(self):
+        from repro.rng import Xoshiro256
+
+        rng = Xoshiro256(5)
+        stream = [(9, bool(rng.next_u64() & 1)) for _ in range(4000)]
+        assert 0.35 < accuracy(GsharePredictor(), stream) < 0.65
+
+    def test_history_bits_zero_behaves_like_bimodal(self):
+        stream = [(7, bool(i % 2)) for i in range(2000)]
+        assert accuracy(GsharePredictor(history_bits=0), stream) < 0.7
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ConfigError):
+            GsharePredictor(table_bits=8, history_bits=9)
+
+    def test_reset_clears_history(self):
+        predictor = GsharePredictor()
+        for i in range(100):
+            predictor.update(i, True)
+        predictor.reset()
+        assert predictor.predict(0) is True
+
+
+class TestFactory:
+    def test_make_each_kind(self):
+        assert isinstance(make_predictor("gshare", 10, 8), GsharePredictor)
+        assert isinstance(make_predictor("bimodal", 10, 0), BimodalPredictor)
+        assert isinstance(make_predictor("always-taken", 10, 0), AlwaysTakenPredictor)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_predictor("neural", 10, 0)
+
+    def test_always_taken_is_static(self):
+        predictor = AlwaysTakenPredictor()
+        predictor.update(5, False)
+        assert predictor.predict(5) is True

@@ -1,0 +1,200 @@
+"""Cache and hierarchy unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.machine.cache import Cache, CacheHierarchy
+from repro.machine.config import CacheConfig, MachineConfig
+
+
+def tiny_cache(sets=2, ways=2):
+    return Cache(CacheConfig(size_bytes=sets * ways * 64, ways=ways, line_bytes=64, latency=4))
+
+
+class TestCache:
+    def test_first_access_misses_second_hits(self):
+        cache = tiny_cache()
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # refresh 0; 1 becomes LRU
+        cache.access(2)      # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_set_isolation(self):
+        cache = tiny_cache(sets=2, ways=1)
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.contains(0)
+        assert cache.contains(1)
+        cache.access(2)  # set 0: evicts line 0 only
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_capacity_never_exceeded(self):
+        cache = tiny_cache(sets=2, ways=2)
+        for line in range(100):
+            cache.access(line)
+        total = sum(len(s) for s in cache._sets)
+        assert total <= 4
+
+    def test_reset(self):
+        cache = tiny_cache()
+        cache.access(1)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert not cache.contains(1)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = tiny_cache(sets=4, ways=2)
+        for line in lines:
+            cache.access(line)
+        assert cache.hits + cache.misses == len(lines)
+
+
+class TestCacheConfig:
+    def test_power_of_two_sets_required(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=3 * 64, ways=1, line_bytes=64, latency=1)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64, latency=1)
+
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, ways=8, line_bytes=64, latency=4)
+        assert config.num_sets == 64
+
+
+class TestHierarchy:
+    def test_latency_increases_down_the_hierarchy(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        cfg = MachineConfig()
+        first = hierarchy.access(0)          # cold: DRAM
+        assert first == cfg.memory_latency
+        again = hierarchy.access(0)          # now L1
+        assert again == cfg.l1.latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        cfg = MachineConfig()
+        hierarchy = CacheHierarchy(cfg)
+        hierarchy.access(0)
+        # Evict line 0 from L1 by filling its set (L1: 64 sets, 8 ways).
+        sets = cfg.l1.num_sets
+        for way in range(1, 9):
+            hierarchy.access(way * sets * 8)  # same L1 set, 8 words/line
+        latency = hierarchy.access(0)
+        assert latency == cfg.l2.latency
+
+    def test_words_in_same_line_share_one_miss(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        hierarchy.access(0)
+        for word in range(1, 8):
+            assert hierarchy.access(word) == MachineConfig().l1.latency
+
+    def test_dram_access_counter(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        for line in range(10):
+            hierarchy.access(line * 8)
+        assert hierarchy.dram_accesses == 10
+
+    def test_no_l3_config_goes_straight_to_memory(self):
+        from repro.machine.config import mobile_arm
+
+        cfg = mobile_arm()
+        hierarchy = CacheHierarchy(cfg)
+        assert hierarchy.l3 is None
+        assert hierarchy.access(0) == cfg.memory_latency
+
+    def test_line_of(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        assert hierarchy.line_of(0) == hierarchy.line_of(7)
+        assert hierarchy.line_of(8) == hierarchy.line_of(7) + 1
+
+    def test_mismatched_line_sizes_rejected(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            MachineConfig(), l2=CacheConfig(256 * 1024, 8, 128, 12)
+        )
+        with pytest.raises(ValueError):
+            CacheHierarchy(cfg)
+
+
+class TestPrefetcher:
+    def _hierarchy(self, prefetch):
+        import dataclasses
+
+        cfg = dataclasses.replace(MachineConfig(), prefetch_next_line=prefetch)
+        return CacheHierarchy(cfg)
+
+    def test_next_line_filled_on_miss(self):
+        hierarchy = self._hierarchy(True)
+        hierarchy.access(0)             # miss on line 0 -> prefetch line 1
+        assert hierarchy.l1.contains(1)
+        assert hierarchy.prefetches == 1
+
+    def test_prefetched_line_hits_without_stats_pollution(self):
+        hierarchy = self._hierarchy(True)
+        hierarchy.access(0)             # demand miss + prefetch of line 1
+        latency = hierarchy.access(8)   # word 8 = line 1: prefetched
+        assert latency == MachineConfig().l1.latency
+        # One miss (demand) and one hit (prefetched) only.
+        assert hierarchy.l1.misses == 1
+        assert hierarchy.l1.hits == 1
+
+    def test_disabled_by_default(self):
+        hierarchy = self._hierarchy(False)
+        hierarchy.access(0)
+        assert not hierarchy.l1.contains(1)
+        assert hierarchy.prefetches == 0
+
+    def test_streaming_ipc_improves(self):
+        """The ablation the feature exists for: streaming code speeds up."""
+        import dataclasses
+
+        from repro.isa.builder import ProgramBuilder
+        from repro.machine.cpu import Machine
+
+        # ILP-friendly stream (no accumulator chain): the win shows up in
+        # dispatch/ROB pressure, which a serial chain would mask.
+        b = ProgramBuilder("stream")
+        b.movi(2, 0)
+        with b.loop(1, 4000):
+            b.load(3, 2, 0)
+            b.load(4, 2, 1)
+            b.addi(2, 2, 2)
+        program = b.build()
+        base = Machine().run(program).counters
+        pf_config = dataclasses.replace(MachineConfig(), prefetch_next_line=True)
+        prefetched = Machine(pf_config).run(program).counters
+        assert prefetched.dram_accesses < base.dram_accesses
+        assert prefetched.cycles < base.cycles
+        assert prefetched.ipc > base.ipc
+
+    def test_architectural_state_unaffected(self):
+        import dataclasses
+
+        from repro.isa.builder import ProgramBuilder
+        from repro.machine.cpu import Machine
+
+        b = ProgramBuilder("arch")
+        with b.loop(1, 200):
+            b.load(3, 1, 100)
+            b.xor(4, 4, 3)
+            b.store(4, 1, 300)
+        program = b.build()
+        base = Machine().run(program)
+        pf_config = dataclasses.replace(MachineConfig(), prefetch_next_line=True)
+        prefetched = Machine(pf_config).run(program)
+        assert base.iregs == prefetched.iregs

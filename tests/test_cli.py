@@ -1,0 +1,167 @@
+"""CLI tests (driving ``main(argv)`` directly)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestHashAndVerify:
+    def test_hash_prints_digest(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "hash", "hello"
+        )
+        assert code == 0
+        assert "digest :" in out
+        assert "seed   :" in out
+
+    def test_hash_deterministic(self, capsys):
+        _, out1, _ = run_cli(capsys, "--instructions", "3000", "hash", "same")
+        _, out2, _ = run_cli(capsys, "--instructions", "3000", "hash", "same")
+        digest1 = [l for l in out1.splitlines() if l.startswith("digest")][0]
+        digest2 = [l for l in out2.splitlines() if l.startswith("digest")][0]
+        assert digest1 == digest2
+
+    def test_verify_round_trip(self, capsys):
+        _, out, _ = run_cli(capsys, "--instructions", "3000", "hash", "vv")
+        digest = [l for l in out.splitlines() if l.startswith("digest")][0].split(": ")[1]
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "verify", "vv", digest
+        )
+        assert code == 0
+        assert "OK" in out
+
+    def test_verify_wrong_digest_fails(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "verify", "vv", "00" * 32
+        )
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_verify_non_hex_digest_errors(self, capsys):
+        code, _, err = run_cli(
+            capsys, "--instructions", "3000", "verify", "vv", "zz"
+        )
+        assert code == 2
+        assert "hex" in err
+
+    def test_multi_widget_hash(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "--widgets", "2", "hash", "multi"
+        )
+        assert code == 0
+        assert out.count("widget :") == 2
+
+
+class TestWidgetCommand:
+    def test_widget_from_hex_seed(self, capsys):
+        seed = "ab" * 32
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "widget", seed
+        )
+        assert code == 0
+        assert seed in out
+        assert "executed" in out
+
+    def test_widget_from_text(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "widget", "not-hex-text"
+        )
+        assert code == 0
+        assert "blocks" in out
+
+    def test_widget_asm_dump(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "widget", "x", "--asm"
+        )
+        assert code == 0
+        assert "LOOPNZ" in out
+
+
+class TestProfileAndWorkloads:
+    def test_workloads_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("leela", "compress", "matrix", "graph"):
+            assert name in out
+
+    def test_profile_json(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "leela")
+        assert code == 0
+        data = json.loads(out)
+        assert data["name"] == "leela"
+        assert abs(sum(data["instruction_mix"].values()) - 1.0) < 1e-6
+
+    def test_unknown_workload_errors(self, capsys):
+        code, _, err = run_cli(capsys, "profile", "nonesuch")
+        assert code == 2
+        assert "unknown workload" in err
+
+
+class TestMineAndSimulate:
+    def test_mine_short_chain(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "--instructions", "2000",
+            "mine", "--difficulty", "2", "--blocks", "1",
+        )
+        assert code == 0
+        assert "chain height 1" in out
+
+    def test_simulate_outputs_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--hashrates", "10,10", "--blocks", "100"
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["blocks"] == 100
+        assert len(data["miner_shares"]) == 2
+
+    def test_machine_preset_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--machine", "mobile-arm", "--instructions", "3000",
+            "hash", "arm",
+        )
+        assert code == 0
+        assert "digest :" in out
+
+
+class TestPoolAndProfileFlag:
+    def test_pool_command(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--instructions", "3000", "pool", "--size", "4"
+        )
+        assert code == 0
+        assert "pool size      : 4 widgets" in out
+        assert "fingerprint" in out
+
+    def test_profile_flag_round_trip(self, capsys, tmp_path):
+        # Export a profile, then hash against it.
+        code, out, _ = run_cli(capsys, "profile", "matrix")
+        assert code == 0
+        path = tmp_path / "matrix.json"
+        path.write_text(out)
+        code, out, _ = run_cli(
+            capsys, "--profile", str(path), "--instructions", "3000",
+            "hash", "with-matrix-profile",
+        )
+        assert code == 0
+        assert "digest :" in out
+
+    def test_profile_flag_changes_digest(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "profile", "matrix")
+        path = tmp_path / "m.json"
+        path.write_text(out)
+        _, default_out, _ = run_cli(capsys, "--instructions", "3000", "hash", "d")
+        _, custom_out, _ = run_cli(
+            capsys, "--profile", str(path), "--instructions", "3000", "hash", "d"
+        )
+        digest = lambda s: [l for l in s.splitlines() if l.startswith("digest")][0]
+        assert digest(default_out) != digest(custom_out)

@@ -1,0 +1,92 @@
+"""Code-generation accounting: emitted code must match the generator's
+cost model exactly — the property that makes a spec's expected dynamic
+size an unbiased estimate of the real one."""
+
+import pytest
+
+from repro.isa.opcodes import BRANCH_OPCODES, Opcode
+from repro.widgetgen.codegen import compile_spec
+from repro.widgetgen.ir import token_cost
+
+from tests.conftest import seed_of
+
+
+def _static_counts(spec) -> tuple[int, int]:
+    """(expected static instructions, expected static branches) for the
+    body region of the compiled program (loops included, preamble and
+    epilogue excluded)."""
+    instructions = 0
+    branches = 0
+    for block in spec.blocks:
+        instructions += sum(token_cost(t) for t in block.pre)
+        instructions += sum(token_cost(t) for t in block.body)
+        if block.guard is not None:
+            instructions += 2  # mix xor + branch
+            branches += 1
+    for _ in spec.loops:
+        instructions += 2  # counter MOVI + LOOPNZ
+        branches += 1
+    instructions += 2  # outer counter MOVI + LOOPNZ
+    branches += 1
+    return instructions, branches
+
+
+_PREAMBLE = 13 + 2 * 6 + 4  # movis/cvtifs + fp init pairs + vbroadcasts
+_EPILOGUE = 7  # vreduce/fadd x2 + cvtfi + xor + halt
+
+
+class TestStaticAccounting:
+    @pytest.mark.parametrize("tag", ["a", "b", "c", "d", "e", "f"])
+    def test_compiled_size_matches_token_accounting(self, generator, tag):
+        spec = generator.spec(seed_of(tag))
+        program = compile_spec(spec)
+        expected_body, _ = _static_counts(spec)
+        assert len(program) == _PREAMBLE + expected_body + _EPILOGUE
+
+    @pytest.mark.parametrize("tag", ["g", "h", "i"])
+    def test_static_branch_count_matches(self, generator, tag):
+        spec = generator.spec(seed_of(tag))
+        program = compile_spec(spec)
+        emitted_branches = sum(
+            1 for ins in program.instructions
+            if ins.op in BRANCH_OPCODES and ins.op != int(Opcode.JMP)
+        )
+        _, expected_branches = _static_counts(spec)
+        assert emitted_branches == expected_branches
+
+    def test_no_jmp_in_widgets(self, generator):
+        # Widget control flow is guards + counted loops only; JMP would be
+        # an unaccounted branch.
+        spec = generator.spec(seed_of("nojmp"))
+        program = compile_spec(spec)
+        assert all(ins.op != int(Opcode.JMP) for ins in program.instructions)
+
+
+class TestDynamicAccounting:
+    def test_expected_instructions_unbiased(self, generator, machine):
+        """Across a small population, realised dynamic counts average to
+        the spec expectation within a few percent."""
+        ratios = []
+        for tag in range(8):
+            widget = generator.widget(seed_of(f"dyn-{tag}"))
+            result = widget.execute(machine)
+            ratios.append(
+                result.counters.retired / widget.spec.expected_instructions()
+            )
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 0.85 < mean_ratio < 1.15
+
+    def test_branch_count_expectation(self, generator, machine):
+        """Dynamic branch counts match the structural expectation (guards
+        execute `reps` times, loops `trips` times, plus the outer loop)."""
+        widget = generator.widget(seed_of("branches"))
+        spec = widget.spec
+        reps = spec.block_repetitions()
+        per_iter = (
+            sum(reps[i] for i, blk in enumerate(spec.blocks) if blk.guard)
+            + sum(l.trips for l in spec.loops)
+            + 1
+        )
+        expected = per_iter * spec.outer_trips
+        result = widget.execute(machine)
+        assert result.counters.branches == pytest.approx(expected, rel=0.02)

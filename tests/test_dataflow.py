@@ -1,0 +1,190 @@
+"""CFG / liveness / dead-code-elimination tests — the §IV-A reduction
+adversary must be sound (never change observable results) and effective
+(actually remove dead code), and widgets must resist it."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dataflow import (
+    ALL_REGS,
+    SNAPSHOT_REGS,
+    build_cfg,
+    eliminate_dead_code,
+    liveness,
+    uses_defs,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.machine.cpu import Machine
+
+from tests.conftest import seed_of
+from tests.test_differential import programs
+
+
+def _final_only(*regs):
+    """Live-out set: only the named integer registers observed."""
+    return frozenset(("r", r) for r in regs)
+
+
+class TestUsesDefs:
+    def test_every_opcode_covered(self):
+        for op in Opcode:
+            ins = Instruction(int(op), 0, 0, 0, 0)
+            uses, defs = uses_defs(ins)
+            assert isinstance(uses, set) and isinstance(defs, set)
+
+    def test_fma_reads_its_destination(self):
+        uses, defs = uses_defs(Instruction(int(Opcode.FMA), 1, 2, 3))
+        assert ("f", 1) in uses and ("f", 1) in defs
+
+    def test_store_has_no_defs(self):
+        uses, defs = uses_defs(Instruction(int(Opcode.STORE), 1, 2, 0, 8))
+        assert defs == set()
+        assert ("r", 1) in uses and ("r", 2) in uses
+
+    def test_cross_file_ops(self):
+        uses, defs = uses_defs(Instruction(int(Opcode.CVTIF), 3, 5))
+        assert uses == {("r", 5)} and defs == {("f", 3)}
+        uses, defs = uses_defs(Instruction(int(Opcode.VREDUCE), 2, 4))
+        assert uses == {("v", 4)} and defs == {("f", 2)}
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        b = ProgramBuilder()
+        b.movi(1, 5)
+        b.addi(1, 1, 1)
+        program = b.build()
+        blocks = build_cfg(program)
+        assert len(blocks) == 1
+        assert blocks[0].successors == []
+
+    def test_loop_creates_back_edge(self):
+        b = ProgramBuilder()
+        with b.loop(1, 5):
+            b.addi(2, 2, 1)
+        program = b.build()
+        blocks = build_cfg(program)
+        back_edges = [
+            (i, s) for i, blk in enumerate(blocks) for s in blk.successors if s <= i
+        ]
+        assert back_edges
+
+    def test_conditional_has_two_successors(self):
+        b = ProgramBuilder()
+        b.movi(1, 1)
+        b.movi(2, 2)
+        with b.if_eq(1, 2):
+            b.movi(3, 3)
+        b.movi(4, 4)
+        program = b.build()
+        blocks = build_cfg(program)
+        branch_blocks = [blk for blk in blocks if len(blk.successors) == 2]
+        assert branch_blocks
+
+
+class TestDce:
+    def test_removes_dead_write(self):
+        b = ProgramBuilder()
+        b.movi(1, 10)   # dead: overwritten before any read
+        b.movi(1, 20)
+        b.movi(2, 5)    # dead if only r1 observed
+        program = b.build()
+        report = eliminate_dead_code(program, live_out=_final_only(1))
+        assert report.removed >= 2
+
+    def test_keeps_live_chain(self):
+        b = ProgramBuilder()
+        b.movi(1, 10)
+        b.addi(2, 1, 5)
+        b.add(3, 2, 1)
+        program = b.build()
+        report = eliminate_dead_code(program, live_out=_final_only(3))
+        assert report.removed == 0
+
+    def test_keeps_stores_and_branches(self):
+        b = ProgramBuilder()
+        b.movi(1, 1)
+        b.store(1, 1, 0)
+        with b.loop(2, 3):
+            b.nop()
+        program = b.build()
+        report = eliminate_dead_code(program, live_out=frozenset())
+        kept_ops = {ins.op for ins in report.program.instructions}
+        assert int(Opcode.STORE) in kept_ops
+        assert int(Opcode.LOOPNZ) in kept_ops
+
+    def test_removes_nops(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.nop()
+        b.movi(1, 1)
+        program = b.build()
+        report = eliminate_dead_code(program, live_out=_final_only(1))
+        assert report.removed == 2
+
+    def test_iterates_to_fixpoint(self):
+        # r1 feeds r2 feeds r3; only r0 observed -> all three die, but only
+        # across multiple rounds.
+        b = ProgramBuilder()
+        b.movi(1, 1)
+        b.addi(2, 1, 1)
+        b.addi(3, 2, 1)
+        b.movi(0, 9)
+        program = b.build()
+        report = eliminate_dead_code(program, live_out=_final_only(0))
+        assert report.removed == 3
+
+    def test_observe_everywhere_keeps_all_but_nops(self):
+        b = ProgramBuilder()
+        b.movi(1, 10)  # dead under final-state analysis
+        b.movi(1, 20)
+        b.nop()
+        program = b.build()
+        report = eliminate_dead_code(program, observe_everywhere=True)
+        assert report.removed == 1  # only the NOP
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs)
+    def test_soundness_on_random_programs(self, instructions):
+        """Optimized programs must produce identical observable state."""
+        program = Program(instructions=instructions + [Instruction(int(Opcode.HALT))])
+        program.validate()
+        machine = Machine(Machine().config.scaled_memory(1 << 16))
+        original = machine.run(program, max_instructions=2000)
+        report = eliminate_dead_code(program, live_out=SNAPSHOT_REGS)
+        optimized = machine.run(report.program, max_instructions=2000)
+        assert optimized.iregs == original.iregs
+        assert optimized.fregs == original.fregs
+
+
+class TestWidgetIrreducibility:
+    """The E12 claim at unit scale: widgets resist the DCE attack."""
+
+    def test_snapshots_make_widgets_fully_irreducible(self, generator):
+        widget = generator.widget(seed_of("dce"))
+        report = eliminate_dead_code(widget.program, observe_everywhere=True)
+        assert report.removed == 0  # widgets contain no NOPs
+
+    def test_even_final_state_analysis_removes_almost_nothing(self, generator, machine):
+        # Even granting the attacker a weaker observation model (final
+        # architectural state only, no snapshots), dependency chaining
+        # leaves only a few percent dead — overwritten-before-read
+        # stragglers at loop tails.
+        widget = generator.widget(seed_of("dce2"))
+        report = eliminate_dead_code(widget.program, live_out=frozenset(ALL_REGS))
+        assert report.removed_fraction < 0.12
+        # And whatever it removed must be sound: run both programs on the
+        # widget's memory image and compare final register state.
+        memory_a = machine.new_memory()
+        memory_b = machine.new_memory()
+        for directive in widget.spec.plan.directives():
+            directive.apply(memory_a)
+            directive.apply(memory_b)
+        fuse = int(widget.spec.meta["fuse"])
+        original = machine.run(widget.program, memory_a, max_instructions=fuse)
+        optimized = machine.run(report.program, memory_b, max_instructions=fuse)
+        assert optimized.iregs == original.iregs
+        assert optimized.fregs == original.fregs

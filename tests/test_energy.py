@@ -1,0 +1,100 @@
+"""Energy-model tests, including the §II bandwidth-hardness observation."""
+
+import pytest
+
+from repro.machine.cpu import Machine
+from repro.machine.energy import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.machine.perf_counters import PerfCounters
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+@pytest.fixture(scope="module")
+def workload_energy(machine, model):
+    out = {}
+    for name in ("leela", "graph", "matrix"):
+        result = get_workload(name).build().run(machine)
+        out[name] = (model.energy_of(result.counters), result.counters)
+    return out
+
+
+class TestAccounting:
+    def test_empty_run_zero_energy(self, model):
+        breakdown = model.energy_of(PerfCounters())
+        assert breakdown.total == 0.0
+
+    def test_components_sum_to_total(self, model):
+        counters = PerfCounters(retired=100, cycles=50.0, loads=10, l1_hits=8)
+        counters.class_counts[0] = 100
+        breakdown = model.energy_of(counters)
+        assert breakdown.total == pytest.approx(
+            breakdown.compute + breakdown.memory + breakdown.pipeline + breakdown.static
+        )
+
+    def test_dram_dominates_when_missing(self, model):
+        hits = PerfCounters(retired=100, cycles=100.0, loads=100, l1_hits=100)
+        misses = PerfCounters(retired=100, cycles=100.0, loads=100, l1_hits=0,
+                              dram_accesses=100)
+        assert model.energy_of(misses).memory > 50 * model.energy_of(hits).memory
+
+    def test_fp_costs_more_than_int(self, model):
+        int_run = PerfCounters(retired=100, cycles=25.0)
+        int_run.class_counts[0] = 100
+        fp_run = PerfCounters(retired=100, cycles=25.0)
+        fp_run.class_counts[2] = 100
+        assert model.energy_of(fp_run).compute > 3 * model.energy_of(int_run).compute
+
+    def test_custom_params(self):
+        model = EnergyModel(EnergyParams(dram_access=0.0))
+        counters = PerfCounters(retired=10, cycles=10.0, dram_accesses=100)
+        assert model.energy_of(counters).memory == 0.0
+
+    def test_per_instruction_guard(self):
+        assert EnergyBreakdown(1.0, 1.0, 1.0, 1.0).per_instruction(0) == 4.0
+
+
+class TestWorkloadEnergy:
+    def test_memory_bound_workload_energy_is_memory_and_waiting(self, workload_energy):
+        """The [10] energy argument: a pointer-chasing (bandwidth-bound)
+        workload spends almost all energy on DRAM accesses plus the static
+        power burned waiting for them — barely any on compute."""
+        graph, _ = workload_energy["graph"]
+        non_compute = (graph.memory + graph.static) / graph.total
+        assert graph.memory_share() > 0.3
+        assert non_compute > 0.85
+        compute_share = graph.compute / graph.total
+        leela, _ = workload_energy["leela"]
+        assert compute_share < 0.5 * (leela.compute / leela.total)
+
+    def test_energy_per_instruction_ordering(self, workload_energy):
+        """DRAM-heavy code costs far more energy per instruction."""
+        epi = {
+            name: breakdown.per_instruction(counters.retired)
+            for name, (breakdown, counters) in workload_energy.items()
+        }
+        assert epi["graph"] > 3 * epi["leela"]
+
+    def test_fp_workload_compute_share(self, workload_energy):
+        matrix, _ = workload_energy["matrix"]
+        leela, _ = workload_energy["leela"]
+        assert matrix.compute > 0  # sanity
+        # FP/vector ops make matrix's compute component relatively larger.
+        assert (matrix.compute / matrix.total) > (leela.compute / leela.total)
+
+
+class TestWidgetEnergy:
+    def test_widget_energy_tracks_profile(self, widget_population, machine, model):
+        """Widgets inherit the profiled workload's energy character:
+        cache-friendly integer code, so memory share stays moderate."""
+        shares = []
+        for _, result in widget_population:
+            breakdown = model.energy_of(result.counters)
+            shares.append(breakdown.memory_share())
+        mean_share = sum(shares) / len(shares)
+        # Test-scale widgets are cold-miss heavy, so the band is wide; the
+        # point is that memory is a real but not exclusive consumer.
+        assert 0.1 < mean_share < 0.9

@@ -1,0 +1,117 @@
+"""Fuzzing the widget generator with arbitrary 256-bit seeds.
+
+Every possible hash-gate output must yield a valid, terminating,
+verifiable widget — the generator runs inside a consensus rule, so there
+is no such thing as an unlucky seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.seed import HashSeed
+from repro.machine.cpu import Machine
+from repro.widgetgen.codegen import compile_spec
+from repro.widgetgen.generator import generate_spec
+from repro.widgetgen.params import GeneratorParams
+
+_PARAMS = GeneratorParams(target_instructions=3000, snapshot_interval=250)
+_MACHINE = Machine()
+
+seeds = st.binary(min_size=32, max_size=32).map(HashSeed)
+
+
+class TestGeneratorTotality:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds)
+    def test_any_seed_yields_valid_spec(self, leela_profile, seed):
+        spec = generate_spec(leela_profile, seed, _PARAMS)
+        spec.validate()
+        assert spec.outer_trips >= 1
+        assert spec.expected_instructions() > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_any_seed_compiles_and_halts(self, leela_profile, seed):
+        spec = generate_spec(leela_profile, seed, _PARAMS)
+        program = compile_spec(spec)
+        program.validate()
+        memory = _MACHINE.new_memory()
+        for directive in spec.plan.directives():
+            directive.apply(memory)
+        result = _MACHINE.run(
+            program,
+            memory,
+            max_instructions=int(spec.meta["fuse"]),
+            snapshot_interval=spec.snapshot_interval,
+        )
+        assert result.halted
+        assert result.output
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_generation_is_a_pure_function(self, leela_profile, seed):
+        a = compile_spec(generate_spec(leela_profile, seed, _PARAMS))
+        b = compile_spec(generate_spec(leela_profile, seed, _PARAMS))
+        assert a.fingerprint() == b.fingerprint()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_dynamic_size_near_expectation(self, leela_profile, seed):
+        spec = generate_spec(leela_profile, seed, _PARAMS)
+        program = compile_spec(spec)
+        memory = _MACHINE.new_memory()
+        for directive in spec.plan.directives():
+            directive.apply(memory)
+        result = _MACHINE.run(
+            program, memory, max_instructions=int(spec.meta["fuse"])
+        )
+        expected = spec.expected_instructions()
+        # Guard realisations wobble the count; x2 bounds are conservative.
+        assert 0.4 * expected < result.counters.retired < 2.5 * expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed_a=seeds, seed_b=seeds)
+    def test_distinct_seeds_rarely_collide(self, leela_profile, seed_a, seed_b):
+        if seed_a.raw == seed_b.raw:
+            return
+        a = compile_spec(generate_spec(leela_profile, seed_a, _PARAMS))
+        b = compile_spec(generate_spec(leela_profile, seed_b, _PARAMS))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestGeneratorAcrossProfiles:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_extreme_profiles_still_generate(self, seed):
+        """A degenerate profile (all integer, no branches beyond structure,
+        no memory) must still produce runnable widgets."""
+        from repro.profiling.profile import PerformanceProfile
+
+        profile = PerformanceProfile(
+            name="degenerate",
+            machine="test",
+            dynamic_instructions=10_000,
+            instruction_mix={
+                "int_alu": 0.9, "int_mul": 0.0, "fp_alu": 0.0, "load": 0.0,
+                "store": 0.0, "branch": 0.1, "vector": 0.0, "system": 0.0,
+            },
+            branch_taken_rate=0.5,
+            branch_accuracy=0.9,
+            biased_branch_fraction=0.5,
+            dep_distance_hist=[1.0, 0, 0, 0, 0, 0, 0, 0],
+            stride_hist=[1.0, 0, 0, 0, 0, 0, 0],
+            block_size_mean=5.0,
+            working_set_bytes=1024,
+            l1_hit_rate=1.0,
+            ipc=1.0,
+        )
+        spec = generate_spec(profile, seed, _PARAMS)
+        program = compile_spec(spec)
+        memory = _MACHINE.new_memory()
+        for directive in spec.plan.directives():
+            directive.apply(memory)
+        result = _MACHINE.run(
+            program, memory, max_instructions=int(spec.meta["fuse"])
+        )
+        assert result.halted

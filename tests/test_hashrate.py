@@ -1,0 +1,87 @@
+"""Hashrate-estimation tests, validated against simulator ground truth."""
+
+import pytest
+
+from repro.analysis.hashrate import (
+    HashrateEstimate,
+    estimate_hashrate,
+    rolling_hashrate,
+    _erfinv,
+)
+from repro.blockchain.network import simulate_network
+from repro.errors import ReproError
+
+
+class TestEstimator:
+    def test_recovers_simulated_hashrate(self):
+        true_rate = 150.0
+        result = simulate_network([true_rate], 2000, initial_difficulty=3000.0,
+                                  seed=31)
+        estimate = estimate_hashrate(result.difficulties, result.block_times)
+        assert estimate.rate == pytest.approx(true_rate, rel=0.08)
+
+    def test_confidence_interval_contains_truth(self):
+        true_rate = 80.0
+        hits = 0
+        for seed in range(10):
+            result = simulate_network([true_rate], 400,
+                                      initial_difficulty=2000.0, seed=seed)
+            estimate = estimate_hashrate(result.difficulties, result.block_times)
+            hits += estimate.contains(true_rate)
+        assert hits >= 8  # 95% interval over 10 trials
+
+    def test_interval_tightens_with_more_blocks(self):
+        result = simulate_network([100.0], 2000, initial_difficulty=2000.0, seed=3)
+        short = estimate_hashrate(result.difficulties[:100], result.block_times[:100])
+        long = estimate_hashrate(result.difficulties, result.block_times)
+        assert (long.hi - long.lo) / long.rate < (short.hi - short.lo) / short.rate
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ReproError):
+            estimate_hashrate([1.0], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            estimate_hashrate([], [])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ReproError):
+            estimate_hashrate([1.0], [1.0], confidence=0.3)
+
+
+class TestRolling:
+    def test_tracks_hashrate_step(self):
+        def rates(now, height):
+            return [100.0] if height <= 500 else [400.0]
+
+        result = simulate_network(rates, 1000, initial_difficulty=3000.0, seed=9)
+        series = rolling_hashrate(result.difficulties, result.block_times,
+                                  window=64)
+        early = series[300]
+        late = series[-1]
+        assert late / early == pytest.approx(4.0, rel=0.5)
+
+    def test_series_length(self):
+        series = rolling_hashrate([10.0] * 100, [1.0] * 100, window=20)
+        assert len(series) == 81
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ReproError):
+            rolling_hashrate([1.0], [1.0], window=0)
+
+
+class TestErfinv:
+    def test_round_trip_with_erf(self):
+        import math
+
+        for p in (-0.9, -0.5, 0.0, 0.5, 0.9, 0.99):
+            assert math.erf(_erfinv(p)) == pytest.approx(p, abs=2e-3)
+
+    def test_domain_enforced(self):
+        with pytest.raises(ReproError):
+            _erfinv(1.0)
+
+    def test_estimate_dataclass(self):
+        estimate = HashrateEstimate(rate=10.0, lo=8.0, hi=12.0, blocks=100)
+        assert estimate.contains(9.0)
+        assert not estimate.contains(13.0)

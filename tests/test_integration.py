@@ -1,0 +1,138 @@
+"""Cross-module integration tests: the complete HashCore system."""
+
+import pytest
+
+from repro import (
+    Block,
+    Blockchain,
+    HashCore,
+    Machine,
+    Sha256d,
+    WidgetGenerator,
+    difficulty_to_target,
+    get_workload,
+    mine_block,
+    profile_workload,
+)
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.core.pow import target_to_compact
+
+
+class TestFullPipeline:
+    """profile → generate → compile → execute → hash, from live parts."""
+
+    def test_live_profile_to_hash(self, machine, test_params):
+        profile = profile_workload(get_workload("leela"), machine)
+        hashcore = HashCore(profile=profile, machine=machine, params=test_params)
+        digest = hashcore.hash(b"pipeline")
+        assert hashcore.verify(b"pipeline", digest)
+
+    def test_widgets_from_other_workload_profiles(self, machine, test_params):
+        """§VI-B modularity: any profile plugs into the same generator."""
+        for name in ("compress", "matrix"):
+            profile = profile_workload(get_workload(name), machine)
+            generator = WidgetGenerator(profile, test_params)
+            widget = generator.widget(
+                HashCore(profile=profile, params=test_params).seed_of(b"x")
+            )
+            result = widget.execute(machine)
+            assert result.counters.retired > 1000
+
+    def test_fp_heavy_profile_yields_fp_heavy_widgets(self, machine, test_params):
+        profile = profile_workload(get_workload("matrix"), machine)
+        generator = WidgetGenerator(profile, test_params)
+        seed = HashCore(profile=profile, params=test_params).seed_of(b"fp")
+        counters = generator.widget(seed).execute(machine).counters
+        mix = counters.mix_fractions()
+        assert mix["fp_alu"] + mix["vector"] > 0.25
+
+
+class TestHashCoreMining:
+    """HashCore as the PoW of an actual chain (tiny difficulty)."""
+
+    @pytest.fixture(scope="class")
+    def hashcore(self, leela_profile):
+        from repro.widgetgen.params import GeneratorParams
+
+        # Very small widgets so a difficulty-4 mining loop stays fast.
+        params = GeneratorParams(target_instructions=3000, snapshot_interval=200)
+        return HashCore(profile=leela_profile, params=params)
+
+    def test_mine_and_validate_block(self, hashcore):
+        bits = target_to_compact(difficulty_to_target(4.0))
+        chain = Blockchain(hashcore, genesis_bits=bits)
+        block = Block.build(
+            prev_hash=chain.tip_id,
+            transactions=[b"cb", b"tx"],
+            timestamp=30,
+            bits=chain.expected_bits(chain.tip_id),
+        )
+        mined = mine_block(block, hashcore, max_attempts=200)
+        chain.add_block(mined.block)
+        assert chain.height() == 1
+
+    def test_other_miners_verify(self, hashcore, leela_profile):
+        """A block mined by one HashCore instance validates on a chain
+        whose PoW is an independently constructed instance."""
+        from repro.widgetgen.params import GeneratorParams
+
+        params = GeneratorParams(target_instructions=3000, snapshot_interval=200)
+        verifier = HashCore(profile=leela_profile, params=params)
+        bits = target_to_compact(difficulty_to_target(4.0))
+        miner_chain = Blockchain(hashcore, genesis_bits=bits)
+        verifier_chain = Blockchain(verifier, genesis_bits=bits)
+        block = Block.build(
+            prev_hash=miner_chain.tip_id,
+            transactions=[b"cb"],
+            timestamp=30,
+            bits=miner_chain.expected_bits(miner_chain.tip_id),
+        )
+        mined = mine_block(block, hashcore, max_attempts=200)
+        verifier_chain.add_block(mined.block)
+        assert verifier_chain.height() == 1
+
+
+class TestAlternativeGpp:
+    """§VI-B: targeting an ARM-like machine instead of x86."""
+
+    def test_arm_machine_runs_widgets(self, leela_profile, test_params):
+        from repro.machine.config import mobile_arm
+
+        arm = Machine(mobile_arm())
+        hashcore = HashCore(profile=leela_profile, machine=arm, params=test_params)
+        digest = hashcore.hash(b"arm")
+        assert hashcore.verify(b"arm", digest)
+
+    def test_hash_is_microarchitecture_independent(self, leela_profile, test_params):
+        """The widget output is *architectural* (register snapshots at
+        retired-instruction counts), so machines with different pipelines,
+        caches and predictors compute the identical hash — they differ only
+        in how fast they compute it.  This is what makes a heterogeneous
+        mining network (x86 desktops, ARM phones, §VI-B) possible."""
+        from repro.machine.config import mobile_arm
+
+        x86 = HashCore(profile=leela_profile, params=test_params)
+        arm = HashCore(
+            profile=leela_profile, machine=Machine(mobile_arm()), params=test_params
+        )
+        assert x86.hash(b"n") == arm.hash(b"n")
+
+
+class TestBaselineChains:
+    def test_chain_over_each_baseline(self):
+        from repro.baselines import EquihashLike, RandomXLike, ScryptLike
+
+        for pow_fn, difficulty in (
+            (Sha256d(), 32.0),
+            (ScryptLike(n=32), 3.0),
+            (EquihashLike(n=32, k=3), 2.0),
+            (RandomXLike(program_size=24, loop_trips=2), 2.0),
+        ):
+            bits = target_to_compact(difficulty_to_target(difficulty))
+            chain = Blockchain(pow_fn, genesis_bits=bits,
+                               schedule=RetargetSchedule(interval=1000))
+            block = Block.build(chain.tip_id, [b"tx"], 30,
+                                chain.expected_bits(chain.tip_id))
+            mined = mine_block(block, pow_fn, max_attempts=3000)
+            chain.add_block(mined.block)
+            assert chain.height() == 1, pow_fn.name

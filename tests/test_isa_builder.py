@@ -1,0 +1,159 @@
+"""ProgramBuilder structured-construction tests."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.machine.cpu import Machine
+
+
+def run(program, **kwargs):
+    return Machine().run(program, **kwargs)
+
+
+class TestLabels:
+    def test_forward_label_patched(self):
+        b = ProgramBuilder()
+        b.jmp("skip")
+        b.movi(1, 99)  # skipped
+        b.label("skip")
+        b.movi(2, 7)
+        program = b.build()
+        result = run(program)
+        assert result.iregs[1] == 0
+        assert result.iregs[2] == 7
+
+    def test_unresolved_label_raises(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(AssemblyError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblyError):
+            b.label("x")
+
+    def test_auto_label_names_unique(self):
+        b = ProgramBuilder()
+        assert b.label() != b.label()
+
+    def test_trailing_label_gets_halt_to_land_on(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.label("end")
+        program = b.build()
+        assert program.instructions[-1].op == int(Opcode.HALT)
+        assert run(program).halted
+
+
+class TestLoop:
+    def test_counted_loop_runs_count_times(self):
+        b = ProgramBuilder()
+        b.movi(2, 0)
+        with b.loop(1, 10):
+            b.addi(2, 2, 1)
+        result = run(b.build())
+        assert result.iregs[2] == 10
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        b.movi(3, 0)
+        with b.loop(1, 5):
+            with b.loop(2, 4):
+                b.addi(3, 3, 1)
+        assert run(b.build()).iregs[3] == 20
+
+    def test_preinitialised_counter(self):
+        b = ProgramBuilder()
+        b.movi(1, 3)
+        b.movi(2, 0)
+        with b.loop(1, None):
+            b.addi(2, 2, 1)
+        assert run(b.build()).iregs[2] == 3
+
+    def test_zero_count_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            with b.loop(1, 0):
+                pass
+
+
+class TestConditionals:
+    @pytest.mark.parametrize(
+        "helper,a,b,executes",
+        [
+            ("if_eq", 5, 5, True),
+            ("if_eq", 5, 6, False),
+            ("if_ne", 5, 6, True),
+            ("if_ne", 5, 5, False),
+            ("if_lt", 3, 9, True),
+            ("if_lt", 9, 3, False),
+            ("if_ge", 9, 3, True),
+            ("if_ge", 3, 9, False),
+        ],
+    )
+    def test_condition_semantics(self, helper, a, b, executes):
+        builder = ProgramBuilder()
+        builder.movi(1, a)
+        builder.movi(2, b)
+        builder.movi(3, 0)
+        with getattr(builder, helper)(1, 2):
+            builder.movi(3, 1)
+        result = run(builder.build())
+        assert bool(result.iregs[3]) == executes
+
+    def test_if_ge_equal_values_executes(self):
+        builder = ProgramBuilder()
+        builder.movi(1, 4)
+        builder.movi(2, 4)
+        with builder.if_ge(1, 2):
+            builder.movi(3, 1)
+        assert run(builder.build()).iregs[3] == 1
+
+
+class TestBuild:
+    def test_auto_halt_appended(self):
+        b = ProgramBuilder()
+        b.nop()
+        assert b.build().instructions[-1].op == int(Opcode.HALT)
+
+    def test_no_double_halt(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.halt()
+        program = b.build()
+        assert [i.op for i in program.instructions].count(int(Opcode.HALT)) == 1
+
+    def test_build_validates(self):
+        b = ProgramBuilder()
+        b.emit(Opcode.VADD, 7, 0, 0)  # v7 is within range... use v bounds
+        # NUM_VEC_REGS is 8, so 7 valid; use invalid register instead:
+        b2 = ProgramBuilder()
+        b2.emit(Opcode.VADD, 9, 0, 0)
+        from repro.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            b2.build()
+
+    def test_every_emit_helper_produces_valid_program(self):
+        b = ProgramBuilder()
+        b.add(1, 2, 3); b.sub(1, 2, 3); b.and_(1, 2, 3); b.or_(1, 2, 3)
+        b.xor(1, 2, 3); b.shl(1, 2, 3); b.shr(1, 2, 3)
+        b.addi(1, 2, 5); b.andi(1, 2, 5); b.ori(1, 2, 5); b.xori(1, 2, 5)
+        b.shli(1, 2, 5); b.shri(1, 2, 5); b.mov(1, 2); b.movi(1, 5)
+        b.not_(1, 2); b.cmplt(1, 2, 3); b.cmpeq(1, 2, 3)
+        b.min_(1, 2, 3); b.max_(1, 2, 3)
+        b.mul(1, 2, 3); b.mulhi(1, 2, 3); b.div(1, 2, 3); b.mod(1, 2, 3)
+        b.fadd(0, 1, 2); b.fsub(0, 1, 2); b.fmul(0, 1, 2); b.fdiv(0, 1, 2)
+        b.fmin(0, 1, 2); b.fmax(0, 1, 2); b.fabs(0, 1); b.fneg(0, 1)
+        b.fma(0, 1, 2); b.cvtif(0, 1); b.cvtfi(1, 0)
+        b.load(1, 2, 4); b.fload(0, 2, 4); b.store(1, 2, 4); b.fstore(0, 2, 4)
+        b.vadd(0, 1, 2); b.vmul(0, 1, 2); b.vfma(0, 1, 2)
+        b.vload(0, 2, 4); b.vstore(0, 2, 4); b.vbroadcast(0, 1); b.vreduce(1, 0)
+        b.nop()
+        program = b.build()
+        program.validate()
+        assert run(program).halted

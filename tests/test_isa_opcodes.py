@@ -1,0 +1,84 @@
+"""Unit tests for opcode metadata."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    MEMORY_READ_OPCODES,
+    MEMORY_WRITE_OPCODES,
+    OpClass,
+    Opcode,
+    opcode_class,
+    opcode_name,
+)
+
+
+class TestOpcodeClasses:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(opcode_class(op), OpClass)
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ValueError):
+            opcode_class(255)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (Opcode.ADD, OpClass.INT_ALU),
+            (Opcode.MOVI, OpClass.INT_ALU),
+            (Opcode.MAX, OpClass.INT_ALU),
+            (Opcode.MUL, OpClass.INT_MUL),
+            (Opcode.MOD, OpClass.INT_MUL),
+            (Opcode.FADD, OpClass.FP_ALU),
+            (Opcode.CVTFI, OpClass.FP_ALU),
+            (Opcode.LOAD, OpClass.LOAD),
+            (Opcode.FLOAD, OpClass.LOAD),
+            (Opcode.STORE, OpClass.STORE),
+            (Opcode.FSTORE, OpClass.STORE),
+            (Opcode.BEQ, OpClass.BRANCH),
+            (Opcode.JMP, OpClass.BRANCH),
+            (Opcode.LOOPNZ, OpClass.BRANCH),
+            (Opcode.VADD, OpClass.VECTOR),
+            (Opcode.VREDUCE, OpClass.VECTOR),
+            (Opcode.NOP, OpClass.SYSTEM),
+            (Opcode.HALT, OpClass.SYSTEM),
+        ],
+    )
+    def test_class_mapping(self, op, expected):
+        assert opcode_class(op) == expected
+
+    def test_table_one_classes_all_present(self):
+        # Table I perturbs exactly these resource classes; the ISA must
+        # provide each of them.
+        classes = {opcode_class(op) for op in Opcode}
+        for needed in (
+            OpClass.INT_ALU,
+            OpClass.INT_MUL,
+            OpClass.FP_ALU,
+            OpClass.LOAD,
+            OpClass.STORE,
+            OpClass.BRANCH,
+        ):
+            assert needed in classes
+
+
+class TestOpcodeSets:
+    def test_conditional_branches_subset_of_branches(self):
+        assert CONDITIONAL_BRANCHES < BRANCH_OPCODES
+
+    def test_jmp_not_conditional(self):
+        assert int(Opcode.JMP) not in CONDITIONAL_BRANCHES
+        assert int(Opcode.JMP) in BRANCH_OPCODES
+
+    def test_memory_sets_disjoint(self):
+        assert not (MEMORY_READ_OPCODES & MEMORY_WRITE_OPCODES)
+
+    def test_opcode_names_round_trip(self):
+        for op in Opcode:
+            assert Opcode[opcode_name(op)] == op
+
+    def test_opcode_values_unique(self):
+        values = [int(op) for op in Opcode]
+        assert len(values) == len(set(values))

@@ -1,0 +1,84 @@
+"""Machine configuration and preset tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import (
+    MachineConfig,
+    ivy_bridge,
+    mobile_arm,
+    preset,
+    scalar_inorder,
+)
+
+
+class TestPresets:
+    def test_ivy_bridge_matches_paper_platform_shape(self):
+        cfg = ivy_bridge()
+        assert cfg.issue_width == 4
+        assert cfg.l1.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.l3 is not None and cfg.l3.size_bytes >= 15 * 1024 * 1024
+
+    def test_mobile_arm_is_narrower(self):
+        arm = mobile_arm()
+        assert arm.issue_width < ivy_bridge().issue_width
+        assert arm.l3 is None
+
+    def test_scalar_inorder_is_minimal(self):
+        cfg = scalar_inorder()
+        assert cfg.issue_width == 1
+        assert cfg.rob_size == 1
+
+    def test_preset_lookup(self):
+        assert preset("ivy-bridge").name == "ivy-bridge-like"
+        assert preset("mobile-arm").name == "mobile-arm-like"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigError):
+            preset("quantum")
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+
+    def test_non_power_of_two_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(memory_words=1000)
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(predictor="oracle")
+
+    def test_scaled_memory(self):
+        cfg = MachineConfig().scaled_memory(1 << 16)
+        assert cfg.memory_words == 1 << 16
+        assert cfg.issue_width == MachineConfig().issue_width
+
+
+class TestModernDesktop:
+    def test_preset_shape(self):
+        from repro.machine.config import modern_desktop
+
+        cfg = modern_desktop()
+        assert cfg.issue_width > ivy_bridge().issue_width
+        assert cfg.prefetch_next_line
+        assert cfg.l3.size_bytes > ivy_bridge().l3.size_bytes
+
+    def test_registered(self):
+        assert preset("modern-desktop").name == "modern-desktop"
+
+    def test_faster_than_ivy_bridge_on_widgets(self, generator, machine):
+        from repro.machine.cpu import Machine
+        from repro.machine.config import modern_desktop
+
+        from tests.conftest import seed_of
+
+        widget = generator.widget(seed_of("modern"))
+        modern = Machine(modern_desktop())
+        old = widget.execute(machine)
+        new = widget.execute(modern)
+        assert new.counters.cycles < old.counters.cycles
+        assert new.output == old.output  # same hash, faster

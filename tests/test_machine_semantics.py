@@ -1,0 +1,375 @@
+"""Functional (architectural) semantics of every instruction."""
+
+import struct
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.machine.cpu import Machine
+from repro.machine.memory import Memory
+from repro.rng import MASK64
+
+
+def run_prog(build_fn, memory=None, iregs=None, fregs=None):
+    b = ProgramBuilder()
+    build_fn(b)
+    machine = Machine()
+    return machine.run(
+        b.build(),
+        memory,
+        initial_iregs=iregs,
+        initial_fregs=fregs,
+    )
+
+
+def ir(n, **regs):
+    values = [0] * 16
+    for name, value in regs.items():
+        values[int(name[1:])] = value
+    return values
+
+
+class TestIntegerAlu:
+    @pytest.mark.parametrize(
+        "emit,a,b,expected",
+        [
+            ("add", 7, 5, 12),
+            ("sub", 7, 5, 2),
+            ("sub", 5, 7, (5 - 7) & MASK64),
+            ("and_", 0b1100, 0b1010, 0b1000),
+            ("or_", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("min_", 7, 5, 5),
+            ("max_", 7, 5, 7),
+        ],
+    )
+    def test_three_reg_ops(self, emit, a, b, expected):
+        result = run_prog(
+            lambda bb: getattr(bb, emit)(3, 1, 2),
+            iregs=ir(16, r1=a, r2=b),
+        )
+        assert result.iregs[3] == expected
+
+    def test_add_wraps_64_bits(self):
+        result = run_prog(lambda b: b.add(3, 1, 2), iregs=ir(16, r1=MASK64, r2=1))
+        assert result.iregs[3] == 0
+
+    def test_shl_shift_amount_masked_to_6_bits(self):
+        result = run_prog(lambda b: b.shl(3, 1, 2), iregs=ir(16, r1=1, r2=65))
+        assert result.iregs[3] == 2  # 65 & 63 == 1
+
+    def test_shr_logical(self):
+        result = run_prog(lambda b: b.shr(3, 1, 2), iregs=ir(16, r1=1 << 63, r2=63))
+        assert result.iregs[3] == 1
+
+    def test_shli_shri(self):
+        def body(b):
+            b.shli(3, 1, 4)
+            b.shri(4, 3, 2)
+        result = run_prog(body, iregs=ir(16, r1=3))
+        assert result.iregs[3] == 48
+        assert result.iregs[4] == 12
+
+    def test_addi_negative(self):
+        result = run_prog(lambda b: b.addi(3, 1, -10), iregs=ir(16, r1=7))
+        assert result.iregs[3] == (7 - 10) & MASK64
+
+    def test_immediate_logic_masks_to_64(self):
+        result = run_prog(lambda b: b.andi(3, 1, -1), iregs=ir(16, r1=0xDEAD))
+        assert result.iregs[3] == 0xDEAD
+
+    def test_mov_movi_not(self):
+        def body(b):
+            b.movi(1, 41)
+            b.mov(2, 1)
+            b.not_(3, 2)
+        result = run_prog(body)
+        assert result.iregs[2] == 41
+        assert result.iregs[3] == 41 ^ MASK64
+
+    def test_movi_negative_sign_extends_to_u64(self):
+        result = run_prog(lambda b: b.movi(1, -1))
+        assert result.iregs[1] == MASK64
+
+    def test_cmplt_cmpeq_unsigned(self):
+        def body(b):
+            b.cmplt(3, 1, 2)
+            b.cmpeq(4, 1, 1)
+            b.cmplt(5, 2, 1)
+        result = run_prog(body, iregs=ir(16, r1=5, r2=MASK64))
+        assert result.iregs[3] == 1  # 5 < 2^64-1 (unsigned)
+        assert result.iregs[4] == 1
+        assert result.iregs[5] == 0
+
+
+class TestIntegerMul:
+    def test_mul_wraps(self):
+        result = run_prog(lambda b: b.mul(3, 1, 2), iregs=ir(16, r1=1 << 40, r2=1 << 40))
+        assert result.iregs[3] == (1 << 80) & MASK64
+
+    def test_mulhi(self):
+        result = run_prog(lambda b: b.mulhi(3, 1, 2), iregs=ir(16, r1=1 << 40, r2=1 << 40))
+        assert result.iregs[3] == (1 << 80) >> 64
+
+    def test_div(self):
+        result = run_prog(lambda b: b.div(3, 1, 2), iregs=ir(16, r1=100, r2=7))
+        assert result.iregs[3] == 14
+
+    def test_div_by_zero_defined(self):
+        result = run_prog(lambda b: b.div(3, 1, 2), iregs=ir(16, r1=100))
+        assert result.iregs[3] == MASK64
+
+    def test_mod(self):
+        result = run_prog(lambda b: b.mod(3, 1, 2), iregs=ir(16, r1=100, r2=7))
+        assert result.iregs[3] == 2
+
+    def test_mod_by_zero_defined(self):
+        result = run_prog(lambda b: b.mod(3, 1, 2), iregs=ir(16, r1=100))
+        assert result.iregs[3] == 0
+
+
+class TestFloatingPoint:
+    def test_basic_arithmetic(self):
+        def body(b):
+            b.fadd(2, 0, 1)
+            b.fsub(3, 0, 1)
+            b.fmul(4, 0, 1)
+            b.fdiv(5, 0, 1)
+        result = run_prog(body, fregs=[6.0, 2.0] + [0.0] * 14)
+        assert result.fregs[2] == 8.0
+        assert result.fregs[3] == 4.0
+        assert result.fregs[4] == 12.0
+        assert result.fregs[5] == 3.0
+
+    def test_fdiv_by_zero_clamps_to_one(self):
+        result = run_prog(lambda b: b.fdiv(2, 0, 1), fregs=[5.0, 0.0] + [0.0] * 14)
+        assert result.fregs[2] == 1.0
+
+    def test_fma_accumulates_into_dst(self):
+        result = run_prog(lambda b: b.fma(0, 1, 2), fregs=[10.0, 3.0, 4.0] + [0.0] * 13)
+        assert result.fregs[0] == 22.0
+
+    def test_fmin_fmax_fabs_fneg(self):
+        def body(b):
+            b.fmin(2, 0, 1)
+            b.fmax(3, 0, 1)
+            b.fneg(4, 0)
+            b.fabs(5, 4)
+        result = run_prog(body, fregs=[6.0, 2.0] + [0.0] * 14)
+        assert result.fregs[2] == 2.0
+        assert result.fregs[3] == 6.0
+        assert result.fregs[4] == -6.0
+        assert result.fregs[5] == 6.0
+
+    def test_overflow_clamps_to_one(self):
+        def body(b):
+            for _ in range(8):
+                b.fmul(0, 0, 0)  # 1e200 squared overflows quickly
+        result = run_prog(body, fregs=[1e200] + [0.0] * 15)
+        assert result.fregs[0] == 1.0
+
+    def test_cvtif_cvtfi_round_trip(self):
+        def body(b):
+            b.cvtif(0, 1)
+            b.cvtfi(2, 0)
+        result = run_prog(body, iregs=ir(16, r1=123456))
+        assert result.fregs[0] == 123456.0
+        assert result.iregs[2] == 123456
+
+    def test_cvtif_masks_to_53_bits(self):
+        result = run_prog(lambda b: b.cvtif(0, 1), iregs=ir(16, r1=MASK64))
+        assert result.fregs[0] == float((1 << 53) - 1)
+
+
+class TestMemory:
+    def test_store_load_round_trip(self):
+        def body(b):
+            b.movi(1, 0xDEADBEEF)
+            b.movi(2, 100)
+            b.store(1, 2, 5)
+            b.load(3, 2, 5)
+        result = run_prog(body)
+        assert result.iregs[3] == 0xDEADBEEF
+
+    def test_addresses_wrap_modulo_memory(self):
+        machine = Machine()
+        size = machine.config.memory_words
+
+        def body(b):
+            b.movi(1, 77)
+            b.movi(2, size - 1)
+            b.store(1, 2, 3)  # wraps to address 2
+            b.movi(4, 2)
+            b.load(5, 4, 0)
+        result = run_prog(body)
+        assert result.iregs[5] == 77
+
+    def test_fstore_fload_fixed_point_round_trip(self):
+        def body(b):
+            b.movi(1, 1000)
+            b.cvtif(0, 1)       # f0 = 1000.0
+            b.fstore(0, 2, 10)
+            b.fload(1, 2, 10)
+        result = run_prog(body)
+        assert result.fregs[1] == pytest.approx(1000.0, abs=1e-6)
+
+    def test_load_from_prepared_memory(self):
+        memory = Memory(1 << 21)
+        memory.write(500, 424242)
+        def body(b):
+            b.movi(1, 500)
+            b.load(2, 1, 0)
+        result = run_prog(body, memory=memory)
+        assert result.iregs[2] == 424242
+
+
+class TestVector:
+    def test_vbroadcast_vadd_vreduce(self):
+        def body(b):
+            b.movi(1, 3)
+            b.cvtif(0, 1)
+            b.vbroadcast(0, 0)   # v0 = [3,3,3,3]
+            b.vadd(1, 0, 0)      # v1 = [6,6,6,6]
+            b.vreduce(2, 1)      # f2 = 24
+        result = run_prog(body)
+        assert result.fregs[2] == 24.0
+
+    def test_vmul_vfma(self):
+        def body(b):
+            b.movi(1, 2)
+            b.cvtif(0, 1)
+            b.vbroadcast(0, 0)   # [2]*4
+            b.vmul(1, 0, 0)      # [4]*4
+            b.vfma(1, 0, 0)      # [8]*4
+            b.vreduce(2, 1)
+        result = run_prog(body)
+        assert result.fregs[2] == 32.0
+
+    def test_vstore_vload_round_trip(self):
+        def body(b):
+            b.movi(1, 5)
+            b.cvtif(0, 1)
+            b.vbroadcast(0, 0)
+            b.movi(2, 64)
+            b.vstore(0, 2, 0)
+            b.vload(1, 2, 0)
+            b.vreduce(2, 1)
+        result = run_prog(body)
+        assert result.fregs[2] == pytest.approx(20.0, abs=1e-5)
+
+
+class TestControlFlow:
+    def test_beq_taken_and_not_taken(self):
+        def body(b):
+            b.movi(1, 5)
+            b.movi(2, 5)
+            b.beq(1, 2, "eq")
+            b.movi(3, 1)  # skipped
+            b.label("eq")
+            b.bne(1, 2, "ne")
+            b.movi(4, 1)  # executed
+            b.label("ne")
+        result = run_prog(body)
+        assert result.iregs[3] == 0
+        assert result.iregs[4] == 1
+
+    def test_blt_bge_unsigned(self):
+        def body(b):
+            b.movi(1, -1)   # = 2^64-1 unsigned
+            b.movi(2, 5)
+            b.blt(2, 1, "lt")    # 5 < 2^64-1 -> taken
+            b.movi(3, 99)
+            b.label("lt")
+            b.bge(1, 2, "ge")    # taken
+            b.movi(4, 99)
+            b.label("ge")
+        result = run_prog(body)
+        assert result.iregs[3] == 0
+        assert result.iregs[4] == 0
+
+    def test_loopnz_decrements_register(self):
+        def body(b):
+            with b.loop(1, 7):
+                b.nop()
+        result = run_prog(body)
+        assert result.iregs[1] == 0
+
+    def test_jmp(self):
+        def body(b):
+            b.jmp("over")
+            b.movi(1, 1)
+            b.label("over")
+        assert run_prog(body).iregs[1] == 0
+
+    def test_fall_off_end_is_halt(self):
+        b = ProgramBuilder()
+        b.movi(1, 2)
+        program = b.build(auto_halt=False)
+        result = Machine().run(program)
+        assert result.halted
+
+
+class TestSnapshots:
+    def test_snapshot_format_and_count(self):
+        def body(b):
+            with b.loop(1, 10):
+                b.addi(2, 2, 1)
+        b = ProgramBuilder()
+        body(b)
+        result = Machine().run(b.build(), snapshot_interval=7)
+        # 21 retired +1 halt; snapshots at 7,14,21 plus the final one.
+        assert result.snapshots == 4
+        assert len(result.output) == result.snapshots * (16 * 8 + 16 * 8)
+
+    def test_final_snapshot_reflects_final_state(self):
+        b = ProgramBuilder()
+        b.movi(1, 0x1234)
+        result = Machine().run(b.build(), snapshot_interval=1000)
+        final_ints = struct.unpack("<16Q", result.output[-256:-128])
+        assert final_ints[1] == 0x1234
+
+    def test_no_snapshots_without_interval(self):
+        b = ProgramBuilder()
+        b.movi(1, 1)
+        result = Machine().run(b.build())
+        assert result.output == b""
+        assert result.snapshots == 0
+
+
+class TestFuse:
+    def test_infinite_loop_trips_fuse(self):
+        from repro.errors import ExecutionLimitExceeded
+
+        b = ProgramBuilder()
+        b.label("spin")
+        b.jmp("spin")
+        with pytest.raises(ExecutionLimitExceeded):
+            Machine().run(b.build(), max_instructions=1000)
+
+    def test_nonpositive_fuse_rejected(self):
+        from repro.errors import ExecutionError
+
+        b = ProgramBuilder()
+        b.nop()
+        with pytest.raises(ExecutionError):
+            Machine().run(b.build(), max_instructions=0)
+
+
+class TestDeterminism:
+    def test_same_program_same_everything(self):
+        def body(b):
+            b.movi(1, 0x5EED)
+            with b.loop(2, 200):
+                b.shli(3, 1, 13)
+                b.xor(1, 1, 3)
+                b.mul(4, 1, 1)
+                b.store(4, 1, 0)
+                b.load(5, 1, 0)
+                b.fadd(0, 0, 1)
+        b1 = ProgramBuilder(); body(b1)
+        b2 = ProgramBuilder(); body(b2)
+        r1 = Machine().run(b1.build(), snapshot_interval=100)
+        r2 = Machine().run(b2.build(), snapshot_interval=100)
+        assert r1.output == r2.output
+        assert r1.iregs == r2.iregs
+        assert r1.counters.cycles == r2.counters.cycles

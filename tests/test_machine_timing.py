@@ -1,0 +1,196 @@
+"""Timing-model behaviour: the microarchitectural effects the paper's
+figures depend on must actually move IPC in the simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.cpu import Machine
+
+
+def ipc_of(build_fn, config=None, memory_setup=None):
+    b = ProgramBuilder()
+    build_fn(b)
+    machine = Machine(config or MachineConfig())
+    memory = machine.new_memory()
+    if memory_setup:
+        memory_setup(memory)
+    return machine.run(b.build(), memory).counters
+
+
+class TestWidthAndDependencies:
+    def test_independent_ops_reach_issue_width(self):
+        def body(b):
+            with b.loop(1, 2000):
+                b.addi(2, 2, 1)
+                b.addi(3, 3, 1)
+                b.addi(4, 4, 1)
+                b.addi(5, 5, 1)
+                b.addi(6, 6, 1)
+                b.addi(7, 7, 1)
+        counters = ipc_of(body)
+        assert counters.ipc > 3.0
+
+    def test_serial_chain_limits_ipc_to_one(self):
+        def body(b):
+            with b.loop(1, 2000):
+                b.addi(2, 2, 1)
+                b.addi(2, 2, 1)
+                b.addi(2, 2, 1)
+                b.addi(2, 2, 1)
+        counters = ipc_of(body)
+        assert counters.ipc < 1.3
+
+    def test_divide_chain_is_much_slower(self):
+        def fast(b):
+            with b.loop(1, 500):
+                b.add(2, 2, 3)
+        def slow(b):
+            with b.loop(1, 500):
+                b.div(2, 2, 3)
+        assert ipc_of(slow).ipc < ipc_of(fast).ipc / 5
+
+    def test_wider_machine_helps_parallel_code(self):
+        def body(b):
+            with b.loop(1, 2000):
+                for reg in range(2, 10):
+                    b.addi(reg, reg, 1)
+        narrow = dataclasses.replace(MachineConfig(), issue_width=1)
+        assert ipc_of(body).ipc > 2.5 * ipc_of(body, narrow).ipc
+
+
+class TestBranchTiming:
+    def test_unpredictable_branches_cost_cycles(self):
+        def predictable(b):
+            b.movi(6, 0)
+            with b.loop(1, 3000):
+                b.addi(2, 2, 1)
+                b.andi(3, 2, 0)      # always 0
+                with b.if_eq(3, 6):
+                    b.addi(4, 4, 1)
+        def unpredictable(b):
+            b.movi(6, 0)
+            b.movi(5, 0x9E3779B9)
+            with b.loop(1, 3000):
+                # xorshift bit decides the branch: ~50/50 random
+                b.shli(7, 5, 13)
+                b.xor(5, 5, 7)
+                b.shri(7, 5, 7)
+                b.xor(5, 5, 7)
+                b.andi(3, 5, 1)
+                with b.if_eq(3, 6):
+                    b.addi(4, 4, 1)
+        p = ipc_of(predictable)
+        u = ipc_of(unpredictable)
+        assert p.branch_accuracy > 0.97
+        assert u.branch_accuracy < 0.85
+        assert u.ipc < p.ipc
+
+    def test_mispredict_penalty_config_matters(self):
+        def body(b):
+            b.movi(6, 0)
+            b.movi(5, 12345)
+            with b.loop(1, 2000):
+                b.mul(5, 5, 5)
+                b.addi(5, 5, 17)
+                b.andi(3, 5, 1)
+                with b.if_eq(3, 6):
+                    b.addi(4, 4, 1)
+        cheap = dataclasses.replace(MachineConfig(), mispredict_penalty=0)
+        expensive = dataclasses.replace(MachineConfig(), mispredict_penalty=40)
+        assert ipc_of(body, cheap).ipc > ipc_of(body, expensive).ipc
+
+
+class TestMemoryTiming:
+    def test_cache_miss_chain_slows_execution(self):
+        # Pointer chase over 8 MiB vs over 2 KiB.
+        def chase(b):
+            b.movi(5, 0)
+            with b.loop(1, 4000):
+                b.load(5, 5, 0)
+        def small_setup(memory):
+            memory.fill_pointer_ring(1, 0, 256)
+        def big_setup(memory):
+            memory.fill_pointer_ring(1, 0, 1 << 20)
+        small = ipc_of(chase, memory_setup=small_setup)
+        big = ipc_of(chase, memory_setup=big_setup)
+        assert big.ipc < small.ipc / 3
+        assert big.dram_accesses > 1000
+        assert small.l1_hit_rate > 0.9
+
+    def test_rob_limits_miss_overlap(self):
+        # With a tiny ROB, a DRAM miss stalls dispatch; with a huge ROB,
+        # independent work continues underneath.
+        def body(b):
+            b.movi(5, 0)
+            with b.loop(1, 300):
+                b.load(6, 5, 0)       # miss (cold, strided)
+                b.addi(5, 5, 4096)
+                for _ in range(20):
+                    b.addi(2, 2, 1)   # independent filler
+        tiny = dataclasses.replace(MachineConfig(), rob_size=4)
+        huge = dataclasses.replace(MachineConfig(), rob_size=4096)
+        assert ipc_of(body, huge).ipc > 1.5 * ipc_of(body, tiny).ipc
+
+
+class TestCountersConsistency:
+    def test_class_counts_sum_to_retired(self):
+        def body(b):
+            with b.loop(1, 100):
+                b.addi(2, 2, 1)
+                b.mul(3, 2, 2)
+                b.fadd(0, 0, 1)
+                b.store(2, 2, 0)
+                b.load(4, 2, 0)
+                b.vadd(0, 1, 2)
+        counters = ipc_of(body)
+        assert sum(counters.class_counts) == counters.retired
+
+    def test_loads_stores_counted(self):
+        def body(b):
+            with b.loop(1, 50):
+                b.store(2, 2, 0)
+                b.load(3, 2, 0)
+                b.load(4, 2, 8)
+        counters = ipc_of(body)
+        assert counters.loads == 100
+        assert counters.stores == 50
+
+    def test_taken_plus_not_taken_equals_branches(self):
+        def body(b):
+            b.movi(6, 0)
+            with b.loop(1, 64):
+                b.andi(3, 1, 1)
+                with b.if_eq(3, 6):
+                    b.nop()
+        counters = ipc_of(body)
+        assert counters.taken <= counters.branches
+        assert counters.mispredicts <= counters.branches
+
+    def test_cycles_positive_and_ipc_bounded_by_width(self):
+        def body(b):
+            with b.loop(1, 500):
+                b.addi(2, 2, 1)
+        counters = ipc_of(body)
+        assert counters.cycles > 0
+        assert counters.ipc <= MachineConfig().issue_width + 1e-9
+
+
+class TestColdState:
+    def test_runs_are_independent(self):
+        def body(b):
+            b.movi(5, 0)
+            with b.loop(1, 500):
+                b.load(6, 5, 0)
+                b.addi(5, 5, 64)
+        b = ProgramBuilder()
+        body(b)
+        program = b.build()
+        machine = Machine()
+        first = machine.run(program).counters
+        second = machine.run(program).counters
+        # Same cold caches both times -> identical timing.
+        assert first.cycles == second.cycles
+        assert first.l1_hits == second.l1_hits

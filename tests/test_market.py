@@ -1,0 +1,72 @@
+"""Centralization-model tests."""
+
+import pytest
+
+from repro.analysis.market import CentralizationResult, centralization_study, gini
+from repro.errors import ReproError
+
+
+class TestGini:
+    def test_equal_shares_zero(self):
+        assert gini([0.25] * 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_holder_maximal(self):
+        value = gini([0.0] * 9 + [1.0])
+        assert value == pytest.approx(0.9, abs=1e-9)  # (n-1)/n for n=10
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+    def test_monotone_in_concentration(self):
+        assert gini([0.4, 0.3, 0.3]) < gini([0.8, 0.1, 0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            gini([-0.1, 1.1])
+
+    def test_all_zero_is_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+
+class TestCentralizationStudy:
+    def test_no_advantage_attacker_stays_proportional(self):
+        result = centralization_study(1.0, n_home_miners=50,
+                                      attacker_budget_rate=10.0, blocks=1500)
+        # 10 / (50 + 10) ≈ 0.167: capital share, nothing more.
+        assert result.attacker_share_expected == pytest.approx(1 / 6)
+        assert result.attacker_share_simulated == pytest.approx(1 / 6, abs=0.04)
+
+    def test_sha_like_advantage_captures_network(self):
+        result = centralization_study(90.0, n_home_miners=50,
+                                      attacker_budget_rate=10.0, blocks=1500)
+        assert result.attacker_share_expected > 0.9
+        assert result.attacker_share_simulated > 0.85
+        assert result.revenue_gini > 0.8
+
+    def test_centralization_monotone_in_advantage(self):
+        shares = [
+            centralization_study(a, blocks=1200, seed=5).attacker_share_simulated
+            for a in (1.0, 4.0, 20.0)
+        ]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_gini_reflects_concentration(self):
+        fair = centralization_study(1.0, blocks=1500, seed=7)
+        skewed = centralization_study(50.0, blocks=1500, seed=7)
+        assert skewed.revenue_gini > fair.revenue_gini
+
+    def test_invalid_advantage_rejected(self):
+        with pytest.raises(ReproError):
+            centralization_study(0.5)
+
+    def test_invalid_market_rejected(self):
+        with pytest.raises(ReproError):
+            centralization_study(2.0, n_home_miners=0)
+
+    def test_result_dataclass(self):
+        result = CentralizationResult(1.0, 0.1, 0.11, 0.2)
+        assert result.advantage == 1.0

@@ -1,0 +1,96 @@
+"""Simulated memory unit tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.memory import Memory, _splitmix64_block, _splitmix64_block_np
+from repro.rng import MASK64
+
+
+class TestBasics:
+    def test_read_write(self):
+        memory = Memory(1024)
+        memory.write(10, 42)
+        assert memory.read(10) == 42
+
+    def test_write_masks_to_64_bits(self):
+        memory = Memory(1024)
+        memory.write(0, 1 << 70)
+        assert memory.read(0) == (1 << 70) & MASK64
+
+    def test_addresses_wrap(self):
+        memory = Memory(1024)
+        memory.write(1024 + 5, 7)
+        assert memory.read(5) == 7
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            Memory(1000)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            Memory(0)
+
+
+class TestFillRandom:
+    def test_deterministic(self):
+        a = Memory(4096)
+        b = Memory(4096)
+        a.fill_random(99, 10, 500)
+        b.fill_random(99, 10, 500)
+        assert a.words == b.words
+
+    def test_seed_changes_contents(self):
+        a = Memory(1024)
+        b = Memory(1024)
+        a.fill_random(1, 0, 100)
+        b.fill_random(2, 0, 100)
+        assert a.words[:100] != b.words[:100]
+
+    def test_numpy_and_scalar_paths_agree(self):
+        # The numpy fast path must be bit-identical to the reference.
+        assert _splitmix64_block(12345, 2000) == _splitmix64_block_np(12345, 2000)
+
+    def test_fill_outside_range_untouched(self):
+        memory = Memory(1024)
+        memory.fill_random(7, 100, 50)
+        assert all(w == 0 for w in memory.words[:100])
+        assert all(w != 0 for w in memory.words[100:150])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            Memory(64).fill_random(1, 0, -1)
+
+
+class TestPointerRing:
+    def test_forms_single_cycle(self):
+        memory = Memory(1024)
+        count = 64
+        memory.fill_pointer_ring(5, 100, count)
+        visited = set()
+        addr = 100
+        for _ in range(count):
+            assert addr not in visited
+            visited.add(addr)
+            addr = memory.read(addr)
+        assert addr == 100  # back to start after exactly `count` hops
+        assert visited == {100 + i for i in range(count)}
+
+    def test_deterministic(self):
+        a = Memory(512)
+        b = Memory(512)
+        a.fill_pointer_ring(3, 0, 128)
+        b.fill_pointer_ring(3, 0, 128)
+        assert a.words == b.words
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ConfigError):
+            Memory(64).fill_pointer_ring(1, 0, 1)
+
+
+class TestFillValue:
+    def test_constant_fill(self):
+        memory = Memory(256)
+        memory.fill_value(9, 10, 20)
+        assert memory.words[10:30] == [9] * 20
+        assert memory.words[9] == 0

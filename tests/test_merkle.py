@@ -1,0 +1,83 @@
+"""Merkle tree tests."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blockchain.merkle import merkle_proof, merkle_root, verify_proof
+from repro.errors import ChainError
+
+
+def txs(n):
+    return [f"tx-{i}".encode() for i in range(n)]
+
+
+class TestRoot:
+    def test_single_transaction_root_is_leaf_hash(self):
+        tx = b"only"
+        expected = hashlib.sha256(hashlib.sha256(tx).digest()).digest()
+        assert merkle_root([tx]) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChainError):
+            merkle_root([])
+
+    def test_order_matters(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_content_matters(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    def test_odd_count_duplicates_last(self):
+        # Classic Bitcoin behaviour: [a,b,c] hashes like [a,b,c,c].
+        assert merkle_root([b"a", b"b", b"c"]) == merkle_root([b"a", b"b", b"c", b"c"])
+
+    def test_deterministic(self):
+        assert merkle_root(txs(7)) == merkle_root(txs(7))
+
+
+class TestProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_index_verifies(self, n):
+        transactions = txs(n)
+        root = merkle_root(transactions)
+        for index, tx in enumerate(transactions):
+            proof = merkle_proof(transactions, index)
+            assert verify_proof(tx, proof, root)
+
+    def test_wrong_transaction_fails(self):
+        transactions = txs(8)
+        root = merkle_root(transactions)
+        proof = merkle_proof(transactions, 3)
+        assert not verify_proof(b"forged", proof, root)
+
+    def test_wrong_index_proof_fails(self):
+        transactions = txs(8)
+        root = merkle_root(transactions)
+        proof = merkle_proof(transactions, 2)
+        assert not verify_proof(transactions[3], proof, root)
+
+    def test_tampered_proof_fails(self):
+        transactions = txs(8)
+        root = merkle_root(transactions)
+        proof = merkle_proof(transactions, 0)
+        sibling, is_right = proof[0]
+        proof[0] = (bytes(32), is_right)
+        assert not verify_proof(transactions[0], proof, root)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ChainError):
+            merkle_proof(txs(4), 4)
+
+    def test_proof_length_is_log(self):
+        assert len(merkle_proof(txs(16), 0)) == 4
+        assert len(merkle_proof(txs(17), 0)) == 5
+
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    def test_proof_property(self, n, data):
+        transactions = txs(n)
+        index = data.draw(st.integers(0, n - 1))
+        root = merkle_root(transactions)
+        proof = merkle_proof(transactions, index)
+        assert verify_proof(transactions[index], proof, root)

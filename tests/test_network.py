@@ -1,0 +1,94 @@
+"""Statistical mining-network simulation tests."""
+
+import pytest
+
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.network import simulate_network
+from repro.errors import ChainError
+
+
+class TestBasics:
+    def test_deterministic_given_seed(self):
+        a = simulate_network([10.0, 5.0], 100, seed=3)
+        b = simulate_network([10.0, 5.0], 100, seed=3)
+        assert a.block_times == b.block_times
+        assert a.winners == b.winners
+
+    def test_seed_changes_outcome(self):
+        a = simulate_network([10.0, 5.0], 100, seed=3)
+        b = simulate_network([10.0, 5.0], 100, seed=4)
+        assert a.block_times != b.block_times
+
+    def test_block_count(self):
+        result = simulate_network([1.0], 250, seed=1)
+        assert len(result.block_times) == 250
+        assert len(result.winners) == 250
+        assert len(result.difficulties) == 250
+
+    def test_invalid_hashrates_rejected(self):
+        with pytest.raises(ChainError):
+            simulate_network([], 10)
+        with pytest.raises(ChainError):
+            simulate_network([0.0, 0.0], 10)
+        with pytest.raises(ChainError):
+            simulate_network([-1.0, 2.0], 10)
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ChainError):
+            simulate_network([1.0], 10, initial_difficulty=0.5)
+
+
+class TestRevenueShares:
+    def test_shares_proportional_to_hashrate(self):
+        result = simulate_network([75.0, 20.0, 5.0], 3000, seed=9)
+        shares = result.miner_shares(3)
+        assert shares[0] == pytest.approx(0.75, abs=0.04)
+        assert shares[1] == pytest.approx(0.20, abs=0.04)
+        assert shares[2] == pytest.approx(0.05, abs=0.02)
+
+    def test_equal_miners_equal_shares(self):
+        # The paper's decentralisation ideal: same hardware, same revenue.
+        result = simulate_network([10.0] * 5, 4000, seed=11)
+        for share in result.miner_shares(5):
+            assert share == pytest.approx(0.2, abs=0.03)
+
+
+class TestDifficultyDynamics:
+    def test_difficulty_tracks_hashrate_increase(self):
+        schedule = RetargetSchedule(block_time=30.0, interval=16)
+
+        def rates(now, height):
+            return [100.0] if height <= 400 else [400.0]
+
+        result = simulate_network(
+            rates, 800, schedule, initial_difficulty=3000.0, seed=5
+        )
+        early = sum(result.difficulties[300:400]) / 100
+        late = sum(result.difficulties[-100:]) / 100
+        assert late / early == pytest.approx(4.0, rel=0.35)
+
+    def test_block_time_converges_to_schedule(self):
+        schedule = RetargetSchedule(block_time=30.0, interval=16)
+        result = simulate_network(
+            [100.0], 1200, schedule, initial_difficulty=300.0, seed=6
+        )
+        steady = result.block_times[600:]
+        assert sum(steady) / len(steady) == pytest.approx(30.0, rel=0.15)
+
+    def test_difficulty_reaches_equilibrium_from_wrong_start(self):
+        # Start 100x too easy: retargeting must climb to ~hashrate*block_time.
+        schedule = RetargetSchedule(block_time=30.0, interval=16)
+        result = simulate_network(
+            [100.0], 1500, schedule, initial_difficulty=30.0, seed=7
+        )
+        assert result.difficulties[-1] == pytest.approx(3000.0, rel=0.5)
+
+
+class TestOrphans:
+    def test_orphan_candidates_increase_with_delay(self):
+        fast = simulate_network([100.0], 2000, initial_difficulty=100.0,
+                                propagation_delay=0.0, seed=8)
+        slow = simulate_network([100.0], 2000, initial_difficulty=100.0,
+                                propagation_delay=0.5, seed=8)
+        assert fast.orphan_candidates == 0
+        assert slow.orphan_candidates > 0

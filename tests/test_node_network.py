@@ -1,0 +1,125 @@
+"""Multi-node propagation tests: forks, orphans, reorgs, convergence."""
+
+import pytest
+
+from repro.baselines.sha256d import Sha256d
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.node import Node, P2PNetwork
+from repro.core.pow import difficulty_to_target, target_to_compact
+from repro.errors import ChainError
+
+EASY = target_to_compact(difficulty_to_target(16.0))
+SCHEDULE = RetargetSchedule(interval=10_000)  # retargeting out of the way
+
+
+def network(n=3, delay=1):
+    return P2PNetwork.create(
+        n, Sha256d(), schedule=SCHEDULE, genesis_bits=EASY, delay=delay
+    )
+
+
+class TestBasicGossip:
+    def test_block_propagates_after_delay(self):
+        net = network(3, delay=2)
+        net.mine_on(0, [b"tx"], timestamp=30)
+        assert net.heights() == [1, 0, 0]
+        net.tick()
+        assert net.heights() == [1, 0, 0]  # still in flight
+        net.tick()
+        assert net.heights() == [1, 1, 1]
+        assert net.converged()
+
+    def test_sequential_blocks_converge(self):
+        net = network(3)
+        for height in range(1, 5):
+            net.mine_on(height % 3, [b"tx"], timestamp=30 * height)
+            net.settle()
+        assert net.converged()
+        assert net.heights() == [4, 4, 4]
+
+    def test_settle_empties_queue(self):
+        net = network(2, delay=5)
+        net.mine_on(0, [b"tx"], timestamp=30)
+        net.settle()
+        assert net.converged()
+
+
+class TestForksAndReorgs:
+    def test_concurrent_blocks_fork_then_resolve(self):
+        net = network(2, delay=3)
+        # Both nodes mine on genesis before hearing from each other.
+        net.mine_on(0, [b"from-0"], timestamp=30, nonce_salt=0)
+        net.mine_on(1, [b"from-1"], timestamp=31, nonce_salt=10**6)
+        net.settle()
+        # Equal work: each keeps its own tip (first seen) — a live fork.
+        assert not net.converged()
+        # Node 1 extends its branch; node 0 must reorg onto it.
+        net.mine_on(1, [b"extend"], timestamp=60)
+        net.settle()
+        assert net.converged()
+        assert net.nodes[0].reorgs >= 1
+        assert net.heights() == [2, 2]
+
+    def test_reorg_counter_counts_tip_switches(self):
+        net = network(2, delay=10)  # long partition
+        net.mine_on(0, [b"a1"], timestamp=30)
+        net.mine_on(1, [b"b1"], timestamp=31, nonce_salt=10**6)
+        net.mine_on(1, [b"b2"], timestamp=60, nonce_salt=10**6)
+        net.settle()
+        assert net.converged()
+        # Node 0 had height 1 on branch A, then adopted branch B (height 2).
+        assert net.nodes[0].reorgs == 1
+        assert net.nodes[1].reorgs == 0
+
+    def test_losing_branch_blocks_retained(self):
+        net = network(2, delay=10)
+        net.mine_on(0, [b"a1"], timestamp=30)
+        net.mine_on(1, [b"b1"], timestamp=31, nonce_salt=10**6)
+        net.mine_on(1, [b"b2"], timestamp=60, nonce_salt=10**6)
+        net.settle()
+        # All four blocks (genesis + a1 + b1 + b2) known to both nodes.
+        assert len(net.nodes[0].chain) == 4
+        assert len(net.nodes[1].chain) == 4
+
+
+class TestOrphanBuffer:
+    def test_out_of_order_delivery_buffers_and_drains(self):
+        net = network(2, delay=1)
+        node0, node1 = net.nodes
+        # Mine two blocks on node0 without gossip, then deliver child first.
+        first = net.mine_on(0, [b"p"], timestamp=30)
+        second = net.mine_on(0, [b"c"], timestamp=60)
+        fresh = Node("late", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        assert not fresh.receive(second)       # parent unknown: buffered
+        assert fresh.orphan_count() == 1
+        assert fresh.receive(first)            # parent arrives...
+        assert fresh.orphan_count() == 0       # ...child drained
+        assert fresh.chain.height() == 2
+
+    def test_grandchild_chain_drains_recursively(self):
+        net = network(1)
+        blocks = [net.mine_on(0, [f"b{i}".encode()], timestamp=30 * (i + 1))
+                  for i in range(3)]
+        late = Node("late", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        assert not late.receive(blocks[2])
+        assert not late.receive(blocks[1])
+        assert late.receive(blocks[0])
+        assert late.chain.height() == 3
+
+    def test_invalid_block_rejected_quietly(self):
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        from repro.blockchain.block import Block
+
+        bogus = Block.build(node.tip_id(), [b"x"], 30, EASY)  # unmined
+        assert not node.receive(bogus)
+        assert node.chain.height() == 0
+
+
+class TestNetworkConstruction:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ChainError):
+            P2PNetwork.create(0, Sha256d())
+
+    def test_nodes_named(self):
+        net = network(3)
+        assert [n.name for n in net.nodes] == ["node0", "node1", "node2"]

@@ -1,0 +1,83 @@
+"""PerfCounters derived-metric tests."""
+
+from repro.isa.opcodes import OpClass
+from repro.machine.perf_counters import (
+    DEP_BUCKETS,
+    STRIDE_BUCKETS,
+    PerfCounters,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_values_map_to_expected_buckets(self):
+        assert bucket_index(1, DEP_BUCKETS) == 0
+        assert bucket_index(2, DEP_BUCKETS) == 1
+        assert bucket_index(3, DEP_BUCKETS) == 2
+        assert bucket_index(64, DEP_BUCKETS) == len(DEP_BUCKETS) - 1
+
+    def test_overflow_bucket(self):
+        assert bucket_index(10_000, DEP_BUCKETS) == len(DEP_BUCKETS)
+        assert bucket_index(10_000, STRIDE_BUCKETS) == len(STRIDE_BUCKETS)
+
+    def test_zero_stride_bucket(self):
+        assert bucket_index(0, STRIDE_BUCKETS) == 0
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        counters = PerfCounters(retired=100, cycles=50.0)
+        assert counters.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert PerfCounters().ipc == 0.0
+
+    def test_branch_accuracy(self):
+        counters = PerfCounters(branches=100, mispredicts=8)
+        assert counters.branch_accuracy == 0.92
+
+    def test_branch_accuracy_no_branches_is_perfect(self):
+        assert PerfCounters().branch_accuracy == 1.0
+
+    def test_mpki(self):
+        counters = PerfCounters(retired=10_000, mispredicts=25)
+        assert counters.branch_mpki == 2.5
+
+    def test_taken_rate(self):
+        counters = PerfCounters(branches=10, taken=7)
+        assert counters.taken_rate == 0.7
+
+    def test_l1_hit_rate(self):
+        counters = PerfCounters(loads=60, stores=40, l1_hits=90)
+        assert counters.l1_hit_rate == 0.9
+
+    def test_mix_fractions_sum_to_one(self):
+        counters = PerfCounters(retired=10)
+        counters.class_counts[OpClass.INT_ALU] = 6
+        counters.class_counts[OpClass.LOAD] = 4
+        mix = counters.mix_fractions()
+        assert abs(sum(mix.values()) - 1.0) < 1e-12
+        assert mix["int_alu"] == 0.6
+
+    def test_working_set_bytes(self):
+        counters = PerfCounters()
+        counters.touched_lines.update({1, 2, 3})
+        assert counters.working_set_bytes == 192
+
+    def test_biased_branch_fraction(self):
+        counters = PerfCounters()
+        counters.branch_bias = {
+            1: [99, 100],   # heavily taken -> biased
+            2: [1, 100],    # heavily not-taken -> biased
+            3: [50, 100],   # 50/50 -> unbiased
+            4: [80, 100],   # 80% -> unbiased at 0.9 threshold
+        }
+        assert counters.biased_branch_fraction(0.9) == 0.5
+
+    def test_biased_branch_fraction_empty(self):
+        assert PerfCounters().biased_branch_fraction() == 0.0
+
+    def test_summary_keys(self):
+        summary = PerfCounters(retired=10, cycles=5.0).summary()
+        for key in ("retired", "cycles", "ipc", "branch_accuracy", "l1_hit_rate"):
+            assert key in summary

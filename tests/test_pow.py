@@ -1,0 +1,102 @@
+"""PoW target arithmetic tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pow import (
+    MAX_TARGET,
+    compact_to_target,
+    difficulty_to_target,
+    hash_to_int,
+    leading_zero_bits,
+    meets_target,
+    target_to_compact,
+    target_to_difficulty,
+)
+from repro.errors import PowError
+
+
+class TestTargets:
+    def test_max_target_accepts_everything(self):
+        assert meets_target(b"\xff" * 32, MAX_TARGET)
+
+    def test_small_target_rejects_large_hash(self):
+        assert not meets_target(b"\xff" * 32, 1000)
+
+    def test_boundary_inclusive(self):
+        digest = (1000).to_bytes(32, "big")
+        assert meets_target(digest, 1000)
+        assert not meets_target(digest, 999)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(PowError):
+            meets_target(b"\x00" * 32, 0)
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(PowError):
+            hash_to_int(b"\x00" * 31)
+
+
+class TestDifficulty:
+    def test_difficulty_one_is_max_target(self):
+        assert difficulty_to_target(1.0) == MAX_TARGET
+
+    def test_round_trip(self):
+        target = difficulty_to_target(1234.0)
+        assert target_to_difficulty(target) == pytest.approx(1234.0, rel=1e-9)
+
+    def test_higher_difficulty_lower_target(self):
+        assert difficulty_to_target(100) < difficulty_to_target(10)
+
+    def test_sub_one_difficulty_rejected(self):
+        with pytest.raises(PowError):
+            difficulty_to_target(0.5)
+
+
+class TestCompactBits:
+    def test_bitcoin_genesis_bits(self):
+        # Bitcoin's genesis nBits 0x1d00ffff encodes the canonical target.
+        target = compact_to_target(0x1D00FFFF)
+        assert target == 0xFFFF << (8 * (0x1D - 3))
+        assert target_to_compact(target) == 0x1D00FFFF
+
+    def test_regtest_bits(self):
+        target = compact_to_target(0x207FFFFF)
+        assert target_to_compact(target) == 0x207FFFFF
+
+    def test_negative_flag_rejected(self):
+        with pytest.raises(PowError):
+            compact_to_target(0x1D800000 | 0x00800001)
+
+    def test_zero_mantissa_rejected(self):
+        with pytest.raises(PowError):
+            compact_to_target(0x1D000000)
+
+    def test_small_targets(self):
+        for target in (1, 255, 256, 65535, 65536):
+            decoded = compact_to_target(target_to_compact(target))
+            # Compact form keeps 3 significant bytes: small values exact.
+            assert decoded == target
+
+    @given(st.integers(min_value=1, max_value=MAX_TARGET))
+    def test_round_trip_within_mantissa_precision(self, target):
+        decoded = compact_to_target(target_to_compact(target))
+        # The compact format keeps 23-24 bits of mantissa.
+        assert decoded <= target
+        assert decoded >= target - (target >> 15)
+
+    @given(st.integers(min_value=1, max_value=MAX_TARGET))
+    def test_encode_is_idempotent(self, target):
+        compact = target_to_compact(target)
+        assert target_to_compact(compact_to_target(compact)) == compact
+
+
+class TestLeadingZeroBits:
+    def test_all_zero_digest(self):
+        assert leading_zero_bits(b"\x00" * 32) == 256
+
+    def test_top_bit_set(self):
+        assert leading_zero_bits(b"\x80" + b"\x00" * 31) == 0
+
+    def test_one_leading_zero_byte(self):
+        assert leading_zero_bits(b"\x00\xff" + b"\x00" * 30) == 8

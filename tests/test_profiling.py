@@ -1,0 +1,127 @@
+"""PerformanceProfile and profiler tests."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.isa.opcodes import OpClass
+from repro.machine.cpu import Machine
+from repro.profiling import PerformanceProfile, profile_program, profile_workload
+from repro.workloads import LeelaWorkload
+
+
+@pytest.fixture(scope="module")
+def live_profile(machine):
+    return profile_workload(LeelaWorkload(), machine)
+
+
+class TestProfileExtraction:
+    def test_mix_sums_to_one(self, live_profile):
+        assert abs(sum(live_profile.instruction_mix.values()) - 1.0) < 1e-9
+
+    def test_histograms_normalised(self, live_profile):
+        assert abs(sum(live_profile.dep_distance_hist) - 1.0) < 1e-9
+        assert abs(sum(live_profile.stride_hist) - 1.0) < 1e-9
+
+    def test_rates_in_range(self, live_profile):
+        for value in (
+            live_profile.branch_taken_rate,
+            live_profile.branch_accuracy,
+            live_profile.biased_branch_fraction,
+            live_profile.l1_hit_rate,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_extras_capture_divide_share(self, live_profile):
+        # Leela's int-multiply class is dominated by the per-move MOD.
+        assert live_profile.extras["div_share"] > 0.5
+
+    def test_machine_recorded(self, live_profile):
+        assert live_profile.machine == "ivy-bridge-like"
+
+    def test_mix_fraction_accessor(self, live_profile):
+        assert live_profile.mix_fraction(OpClass.INT_ALU) == pytest.approx(
+            live_profile.instruction_mix["int_alu"]
+        )
+
+    def test_profiling_is_deterministic(self, machine):
+        a = profile_workload(LeelaWorkload(), machine)
+        b = profile_workload(LeelaWorkload(), machine)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestProfileProgram:
+    def test_profile_arbitrary_program(self, machine):
+        from repro.isa.builder import ProgramBuilder
+
+        b = ProgramBuilder("tiny")
+        with b.loop(1, 1000):
+            b.addi(2, 2, 1)
+            b.mul(3, 2, 2)
+        profile = profile_program(b.build(), machine, name="tiny")
+        assert profile.name == "tiny"
+        assert profile.instruction_mix["int_mul"] > 0.2
+
+
+class TestSerialization:
+    def test_json_round_trip(self, live_profile):
+        text = live_profile.to_json()
+        again = PerformanceProfile.from_json(text)
+        assert again.to_dict() == live_profile.to_dict()
+
+    def test_unknown_schema_rejected(self, live_profile):
+        data = live_profile.to_dict()
+        data["schema"] = 99
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+
+class TestValidation:
+    def _base(self, live_profile) -> dict:
+        return live_profile.to_dict()
+
+    def test_bad_mix_sum_rejected(self, live_profile):
+        data = self._base(live_profile)
+        data["instruction_mix"]["int_alu"] += 0.5
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+    def test_missing_class_rejected(self, live_profile):
+        data = self._base(live_profile)
+        del data["instruction_mix"]["vector"]
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+    def test_out_of_range_rate_rejected(self, live_profile):
+        data = self._base(live_profile)
+        data["branch_taken_rate"] = 1.5
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+    def test_wrong_hist_size_rejected(self, live_profile):
+        data = self._base(live_profile)
+        data["dep_distance_hist"] = [1.0]
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+    def test_zero_instructions_rejected(self, live_profile):
+        data = self._base(live_profile)
+        data["dynamic_instructions"] = 0
+        with pytest.raises(ProfileError):
+            PerformanceProfile.from_dict(data)
+
+
+class TestDefaultProfile:
+    def test_default_profile_matches_measurement(self, machine, leela_profile):
+        """The baked consensus profile must equal a fresh measurement —
+        drift here would silently change every HashCore hash."""
+        from repro.core.default_profile import measure_default_profile
+
+        measured = measure_default_profile()
+        baked = leela_profile.to_dict()
+        fresh = measured.to_dict()
+        assert baked == fresh
+
+    def test_default_profile_cached(self):
+        from repro.core.default_profile import default_profile
+
+        assert default_profile() is default_profile()

@@ -1,0 +1,64 @@
+"""HashSeed (Table I) tests."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.seed import SEED_BYTES, HashSeed, SeedField
+from repro.errors import PowError
+
+
+class TestParsing:
+    def test_requires_32_bytes(self):
+        with pytest.raises(PowError):
+            HashSeed(b"short")
+
+    def test_field_layout_matches_table_one(self):
+        # Field i is the little-endian u32 at bytes 4i..4i+4 (bits 32i..32i+31).
+        fields = [10, 20, 30, 40, 50, 60, 70, 80]
+        raw = struct.pack("<8I", *fields)
+        seed = HashSeed(raw)
+        assert seed.field(SeedField.INT_ALU) == 10
+        assert seed.field(SeedField.INT_MUL) == 20
+        assert seed.field(SeedField.FP_ALU) == 30
+        assert seed.field(SeedField.LOADS) == 40
+        assert seed.field(SeedField.STORES) == 50
+        assert seed.field(SeedField.BRANCH_BEHAVIOR) == 60
+        assert seed.field(SeedField.BBV_SEED) == 70
+        assert seed.field(SeedField.MEMORY_SEED) == 80
+
+    def test_fields_tuple_order(self):
+        seed = HashSeed.from_fields([1, 2, 3, 4, 5, 6, 7, 8])
+        assert seed.fields() == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_from_fields_wrong_count(self):
+        with pytest.raises(PowError):
+            HashSeed.from_fields([1, 2, 3])
+
+    def test_from_hex_round_trip(self):
+        seed = HashSeed.from_fields(range(8))
+        assert HashSeed.from_hex(seed.hex).raw == seed.raw
+
+    def test_fraction_in_unit_interval(self):
+        seed = HashSeed.from_fields([0, 2**31, 2**32 - 1, 0, 0, 0, 0, 0])
+        assert seed.fraction(SeedField.INT_ALU) == 0.0
+        assert seed.fraction(SeedField.INT_MUL) == pytest.approx(0.5)
+        assert seed.fraction(SeedField.FP_ALU) < 1.0
+
+    def test_with_field_replaces_only_one(self):
+        seed = HashSeed.from_fields([1] * 8)
+        modified = seed.with_field(SeedField.LOADS, 999)
+        assert modified.field(SeedField.LOADS) == 999
+        for field in SeedField:
+            if field != SeedField.LOADS:
+                assert modified.field(field) == 1
+
+    def test_with_field_masks_to_u32(self):
+        seed = HashSeed.from_fields([0] * 8).with_field(SeedField.INT_ALU, 2**40 + 5)
+        assert seed.field(SeedField.INT_ALU) == 5
+
+    @given(st.binary(min_size=SEED_BYTES, max_size=SEED_BYTES))
+    def test_fields_pack_back_to_raw(self, raw):
+        seed = HashSeed(raw)
+        assert HashSeed.from_fields(list(seed.fields())).raw == raw

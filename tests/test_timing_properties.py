@@ -1,0 +1,107 @@
+"""Property-based invariants of the timing model.
+
+The analytic OoO model has hard invariants that must hold for *any*
+program: cycles bounded below by dispatch width, IPC never exceeding the
+width, monotonicity in latencies, and exact run-to-run determinism.
+Hypothesis drives these over random straight-line programs (reusing the
+differential-test strategy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import Machine
+
+from tests.test_differential import programs
+
+
+def _run(instructions, config=None):
+    program = Program(instructions=instructions + [Instruction(int(Opcode.HALT))])
+    program.validate()
+    machine = Machine(config or MachineConfig(memory_words=1 << 16))
+    return machine.run(program, max_instructions=2000)
+
+
+class TestTimingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(programs)
+    def test_ipc_bounded_by_width(self, instructions):
+        counters = _run(instructions).counters
+        width = MachineConfig().issue_width
+        assert counters.ipc <= width + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs)
+    def test_cycles_at_least_dispatch_floor(self, instructions):
+        counters = _run(instructions).counters
+        width = MachineConfig().issue_width
+        assert counters.cycles >= counters.retired / width - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs)
+    def test_timing_deterministic(self, instructions):
+        a = _run(instructions).counters
+        b = _run(instructions).counters
+        assert a.cycles == b.cycles
+        assert a.l1_hits == b.l1_hits
+        assert a.mispredicts == b.mispredicts
+
+    @settings(max_examples=30, deadline=None)
+    @given(programs)
+    def test_slower_alu_never_speeds_up(self, instructions):
+        fast = _run(instructions).counters
+        slow_config = dataclasses.replace(
+            MachineConfig(memory_words=1 << 16),
+            int_alu_latency=3,
+            int_mul_latency=9,
+            fp_add_latency=9,
+            fp_mul_latency=15,
+        )
+        slow = _run(instructions, slow_config).counters
+        assert slow.cycles >= fast.cycles - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(programs)
+    def test_narrower_machine_never_faster(self, instructions):
+        wide = _run(instructions).counters
+        narrow_config = dataclasses.replace(
+            MachineConfig(memory_words=1 << 16), issue_width=1
+        )
+        narrow = _run(instructions, narrow_config).counters
+        assert narrow.cycles >= wide.cycles - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs)
+    def test_counter_consistency(self, instructions):
+        counters = _run(instructions).counters
+        assert sum(counters.class_counts) == counters.retired
+        assert counters.taken <= counters.branches
+        assert counters.mispredicts <= counters.branches
+        accesses = counters.loads + counters.stores
+        assert counters.l1_hits <= accesses
+        assert counters.dram_accesses <= accesses
+
+    @settings(max_examples=30, deadline=None)
+    @given(programs)
+    def test_architectural_state_independent_of_timing_config(self, instructions):
+        """Functional results must not depend on latencies/width/caches —
+        the property HashCore's cross-hardware verifiability rests on."""
+        base = _run(instructions)
+        exotic = dataclasses.replace(
+            MachineConfig(memory_words=1 << 16),
+            issue_width=1,
+            rob_size=2,
+            int_div_latency=99,
+            mispredict_penalty=50,
+            predictor="bimodal",
+        )
+        other = _run(instructions, exotic)
+        assert base.iregs == other.iregs
+        assert base.fregs == other.fregs

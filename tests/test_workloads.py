@@ -1,0 +1,162 @@
+"""Reference-workload tests: each must exhibit its SPEC-class behaviour."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.cpu import Machine
+from repro.workloads import (
+    SUITE,
+    CompressWorkload,
+    GraphWorkload,
+    LeelaWorkload,
+    MatrixWorkload,
+    get_workload,
+)
+from repro.workloads.base import MemoryDirective
+
+
+@pytest.fixture(scope="module")
+def results(machine):
+    """Run every workload once at scale 1 (module-cached)."""
+    out = {}
+    for name in SUITE:
+        image = get_workload(name).build(scale=1)
+        out[name] = image.run(machine, collect_detail=True)
+    return out
+
+
+class TestRegistry:
+    def test_suite_contains_all_five(self):
+        assert set(SUITE) == {"leela", "compress", "matrix", "graph", "media"}
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_workload("specjbb")
+
+    def test_spec_counterparts_documented(self):
+        for cls in SUITE.values():
+            assert cls.spec_counterpart
+
+
+class TestExecution:
+    def test_all_workloads_halt(self, results):
+        for name, result in results.items():
+            assert result.halted, name
+
+    def test_all_workloads_substantial(self, results):
+        for name, result in results.items():
+            assert result.counters.retired > 100_000, name
+
+    def test_scale_increases_work(self, machine):
+        small = LeelaWorkload().build(scale=1).run(machine)
+        large = LeelaWorkload().build(scale=2).run(machine)
+        assert 1.8 < large.counters.retired / small.counters.retired < 2.2
+
+    def test_scale_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            LeelaWorkload().build(scale=0)
+
+    def test_deterministic(self, machine):
+        a = CompressWorkload().build().run(machine)
+        b = CompressWorkload().build().run(machine)
+        assert a.iregs == b.iregs
+        assert a.counters.cycles == b.counters.cycles
+
+
+class TestLeelaCharacter:
+    """Leela must look like SPEC's leela: branchy integer code."""
+
+    def test_integer_dominated(self, results):
+        mix = results["leela"].counters.mix_fractions()
+        assert mix["int_alu"] > 0.5
+        assert mix["fp_alu"] < 0.05
+
+    def test_branch_heavy(self, results):
+        assert results["leela"].counters.mix_fractions()["branch"] > 0.10
+
+    def test_moderate_ipc(self, results):
+        assert 0.7 < results["leela"].counters.ipc < 1.6
+
+    def test_realistic_branch_accuracy(self, results):
+        # Real leela sits near 92% on Ivy-Bridge-class predictors.
+        assert 0.85 < results["leela"].counters.branch_accuracy < 0.97
+
+    def test_cache_friendly(self, results):
+        assert results["leela"].counters.l1_hit_rate > 0.9
+
+
+class TestCompressCharacter:
+    def test_load_store_heavy(self, results):
+        mix = results["compress"].counters.mix_fractions()
+        assert mix["load"] > 0.12
+
+    def test_worse_locality_than_leela(self, results):
+        assert (
+            results["compress"].counters.l1_hit_rate
+            < results["leela"].counters.l1_hit_rate
+        )
+
+    def test_matches_occur(self, results):
+        # The hash-chain must actually find matches (extension loop runs):
+        # visible as a wider spread of block sizes.
+        assert results["compress"].counters.retired > 400_000
+
+
+class TestMatrixCharacter:
+    def test_fp_vector_dominated(self, results):
+        mix = results["matrix"].counters.mix_fractions()
+        assert mix["fp_alu"] + mix["vector"] > 0.5
+
+    def test_high_ilp(self, results):
+        assert results["matrix"].counters.ipc > 1.8
+
+    def test_predictable_branches(self, results):
+        assert results["matrix"].counters.branch_accuracy > 0.98
+
+
+class TestGraphCharacter:
+    def test_latency_bound(self, results):
+        assert results["graph"].counters.ipc < 0.5
+
+    def test_poor_locality(self, results):
+        assert results["graph"].counters.l1_hit_rate < 0.5
+
+    def test_dram_traffic(self, results):
+        assert results["graph"].counters.dram_accesses > 1000
+
+
+class TestMediaCharacter:
+    def test_integer_and_load_heavy(self, results):
+        mix = results["media"].counters.mix_fractions()
+        assert mix["int_alu"] > 0.6
+        assert mix["load"] > 0.12
+
+    def test_moderate_ipc(self, results):
+        # Branchless SAD gives ILP; scattered candidate reads cost misses.
+        assert 0.8 < results["media"].counters.ipc < 2.2
+
+    def test_data_dependent_branches(self, results):
+        # Early-exit and new-best branches are data dependent: accuracy
+        # sits below the loop-dominated matrix workload's.
+        assert results["media"].counters.branch_accuracy < 0.97
+
+
+class TestSuiteDiversity:
+    """The suite must span the behaviour space, like SPEC does."""
+
+    def test_ipc_spread(self, results):
+        ipcs = sorted(r.counters.ipc for r in results.values())
+        assert ipcs[-1] / max(ipcs[0], 1e-9) > 4
+
+    def test_distinct_mixes(self, results):
+        mixes = [tuple(round(v, 2) for v in r.counters.mix_fractions().values())
+                 for r in results.values()]
+        assert len(set(mixes)) == len(mixes)
+
+
+class TestMemoryDirective:
+    def test_unknown_kind_rejected(self):
+        from repro.machine.memory import Memory
+
+        with pytest.raises(ConfigError):
+            MemoryDirective("banana", 0, 0, 10).apply(Memory(64))
