@@ -1,0 +1,133 @@
+"""Hash-rate harness for the dual-path execution engine.
+
+Measures end-to-end HashCore hashes/second on the fast path vs the timed
+path, in the two regimes that matter:
+
+* **cached widget** — repeated hashing of one header (the verifier /
+  re-validation / multi-check regime; the widget LRU makes generation and
+  compilation one-time costs, so this is "hash/s on the default widget"),
+* **fresh widget** — a new nonce per hash (the mining regime; every
+  attempt pays generation + compilation too, which is mode-independent
+  and therefore dilutes the speedup).
+
+A SHA-256d rate is included purely for scale — it is the reminder of how
+far *any* simulated PoW sits from a native one.
+
+Run from the repository root (writes ``BENCH_hashrate.json`` there)::
+
+    PYTHONPATH=src python benchmarks/bench_hashrate.py
+
+Not a pytest module: experiment benches under ``benchmarks/test_*`` go
+through pytest-benchmark; this is a standalone artifact generator whose
+JSON output the ARCHITECTURE.md speedup claim and the PR record cite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.baselines.sha256d import Sha256d
+from repro.core.hashcore import HashCore
+from repro.machine.config import PRESETS, preset
+from repro.widgetgen.params import GeneratorParams
+
+
+def _params(instructions: int) -> GeneratorParams:
+    return GeneratorParams(
+        target_instructions=instructions,
+        snapshot_interval=max(1, instructions // 120),
+    )
+
+
+def _best_rate(fn, hashes: int, repeats: int) -> float:
+    """Best-of-``repeats`` hashes/second for ``fn(i)`` over ``hashes`` calls."""
+    best = 0.0
+    for rep in range(repeats):
+        start = time.perf_counter()
+        for i in range(hashes):
+            fn(rep * hashes + i)
+        best = max(best, hashes / (time.perf_counter() - start))
+    return best
+
+
+def measure(machine_name: str, instructions: int, hashes: int,
+            repeats: int) -> dict:
+    """Run every measurement and return the result document."""
+    header = b"bench-header"
+    cores = {
+        mode: HashCore(machine=preset(machine_name),
+                       params=_params(instructions), mode=mode)
+        for mode in ("fast", "timed")
+    }
+    # Warm both widget caches and record the widget's true dynamic size.
+    retired = (
+        cores["fast"].hash_with_trace(header, mode="fast")
+        .result.counters.retired
+    )
+    cores["timed"].hash(header)
+
+    cached = {
+        mode: _best_rate(lambda i, c=core: c.hash(header), hashes, repeats)
+        for mode, core in cores.items()
+    }
+    fresh = {
+        mode: _best_rate(
+            lambda i, c=core: c.hash(b"bench-nonce-%d" % i), hashes, repeats
+        )
+        for mode, core in cores.items()
+    }
+    sha_rate = _best_rate(
+        lambda i, s=Sha256d(): s.hash(header + i.to_bytes(8, "little")),
+        50_000, repeats,
+    )
+    return {
+        "benchmark": "hashrate",
+        "machine": machine_name,
+        "target_instructions": instructions,
+        "widget_retired": retired,
+        "hashes_per_repeat": hashes,
+        "repeats": repeats,
+        "cached_widget": {
+            "fast_hash_s": round(cached["fast"], 2),
+            "timed_hash_s": round(cached["timed"], 2),
+            "speedup": round(cached["fast"] / cached["timed"], 2),
+        },
+        "fresh_widget": {
+            "fast_hash_s": round(fresh["fast"], 2),
+            "timed_hash_s": round(fresh["timed"], 2),
+            "speedup": round(fresh["fast"] / fresh["timed"], 2),
+        },
+        "sha256d_hash_s": round(sha_rate),
+        # The headline number: fast-path vs timed-path hash/s on the
+        # default (cached) widget.
+        "speedup": round(cached["fast"] / cached["timed"], 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; writes the JSON artifact and prints a summary."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--machine", choices=sorted(PRESETS),
+                        default="ivy-bridge")
+    parser.add_argument("--instructions", type=int, default=60_000,
+                        help="target dynamic instructions per widget")
+    parser.add_argument("--hashes", type=int, default=4,
+                        help="hashes per timing repeat")
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_hashrate.json"))
+    args = parser.parse_args(argv)
+
+    doc = measure(args.machine, args.instructions, args.hashes, args.repeats)
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

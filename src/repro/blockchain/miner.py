@@ -3,8 +3,9 @@
 "The process of searching for hashes is referred to as 'mining'" (§I): the
 miner iterates nonces over the serialized header until the PoW digest meets
 the target.  Works with any :class:`~repro.core.pow.PowFunction` — SHA-256d
-mines thousands of nonces per second, HashCore roughly ten (each attempt
-generates, compiles and executes a widget).
+mines hundreds of thousands of nonces per second, HashCore a few dozen on
+its fast path (each attempt generates, compiles and executes a widget; see
+``BENCH_hashrate.json``).
 """
 
 from __future__ import annotations
@@ -95,9 +96,10 @@ def mine_header_parallel(
     ``pow_factory`` must be a picklable zero-argument callable constructing
     the PoW function inside each worker (PoW objects themselves may hold
     unpicklable state).  Returns the same triple as :func:`mine_header`;
-    ``attempts`` is an upper bound (whole scanned ranges).  Mostly useful
-    for the cheap baselines — HashCore's Python evaluation cost dwarfs the
-    process overhead only for large widgets.
+    ``attempts`` counts whole completed ranges at their actual size, so it
+    never exceeds ``max_attempts``.  Mostly useful for the cheap
+    baselines — HashCore's Python evaluation cost dwarfs the process
+    overhead only for large widgets.
     """
     if workers < 1 or chunk < 1:
         raise PowError("workers and chunk must be >= 1")
@@ -106,27 +108,31 @@ def mine_header_parallel(
     scanned = 0
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
         next_start = 0
-        pending = set()
+        # Each in-flight future maps to the size of its range: the final
+        # range is usually a partial chunk, and crediting a full ``chunk``
+        # for it would let ``attempts`` exceed ``max_attempts``.
+        pending: dict[concurrent.futures.Future, int] = {}
         try:
             while scanned < max_attempts:
                 while len(pending) < workers and next_start < max_attempts:
                     count = min(chunk, max_attempts - next_start)
-                    pending.add(pool.submit(
+                    future = pool.submit(
                         _search_range,
                         (header_bytes, pow_factory, next_start, count, target),
-                    ))
+                    )
+                    pending[future] = count
                     next_start += count
-                done, pending = concurrent.futures.wait(
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
                     pending, return_when=concurrent.futures.FIRST_COMPLETED
                 )
                 for future in done:
-                    scanned += chunk
+                    scanned += pending.pop(future)
                     result = future.result()
                     if result is not None:
                         nonce, digest = result
                         return header.with_nonce(nonce), digest, scanned
-                if next_start >= max_attempts and not pending:
-                    break
         finally:
             for future in pending:
                 future.cancel()

@@ -55,6 +55,7 @@ def _hashcore(args) -> HashCore:
         machine=_machine(args),
         params=_params(args),
         widgets_per_hash=args.widgets,
+        mode=args.mode,
     )
 
 
@@ -62,16 +63,16 @@ def cmd_hash(args) -> int:
     """Compute and display one HashCore evaluation."""
     hashcore = _hashcore(args)
     start = time.perf_counter()
-    trace = hashcore.hash_with_trace(args.data.encode())
+    trace = hashcore.hash_with_trace(args.data.encode(), mode=args.mode)
     elapsed = time.perf_counter() - start
     print(f"seed   : {trace.seed.hex}")
     for widget, result in zip(trace.widgets, trace.results):
-        print(
-            f"widget : {widget.name}  retired={result.counters.retired:,} "
-            f"ipc={result.counters.ipc:.2f} output={result.output_size:,}B"
-        )
+        line = f"widget : {widget.name}  retired={result.counters.retired:,}"
+        if args.mode == "timed":  # IPC exists only on the timing path
+            line += f" ipc={result.counters.ipc:.2f}"
+        print(f"{line} output={result.output_size:,}B")
     print(f"digest : {trace.digest.hex()}")
-    print(f"time   : {elapsed:.2f}s")
+    print(f"time   : {elapsed:.2f}s ({args.mode} path)")
     return 0
 
 
@@ -229,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--widgets", type=int, default=1, help="widgets per hash (sequential)"
+    )
+    parser.add_argument(
+        "--mode", choices=("fast", "timed"), default="fast",
+        help="execution engine: functional fast path (default) or the "
+        "timing model (enables IPC/branch counters)",
     )
     parser.add_argument(
         "--profile", default=None, metavar="JSON",

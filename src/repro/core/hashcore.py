@@ -35,21 +35,17 @@ class HashCoreTrace:
     ``widget``/``result`` are the first (often only) widget of the
     evaluation; with ``widgets_per_hash > 1`` (§IV: "multiple widgets could
     be generated for a given input string and executed sequentially"),
-    ``widgets``/``results`` carry the full sequence.
+    ``widgets``/``results`` carry the full sequence.  Constructors always
+    pass the full sequence explicitly (``[widget]``/``[result]`` in the
+    single-widget case), so both lists are guaranteed non-empty.
     """
 
     seed: HashSeed
     widget: Widget
     result: WidgetResult
     digest: bytes
-    widgets: list[Widget] = None  # type: ignore[assignment]
-    results: list[WidgetResult] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.widgets is None:
-            self.widgets = [self.widget]
-        if self.results is None:
-            self.results = [self.result]
+    widgets: list[Widget]
+    results: list[WidgetResult]
 
 
 class HashCore:
@@ -66,9 +62,24 @@ class HashCore:
 
     Arguments default to the paper's setup: the Leela profile on the
     Ivy-Bridge-like machine with SHA-256 gates.
+
+    Execution is dual-path: ``mode`` selects the engine :meth:`hash` and
+    :meth:`verify` run widgets on.  The default ``"fast"`` uses the
+    functional fast path (several times the throughput; differential-tested
+    bit-identical to the timing model, so digests are unaffected);
+    ``"timed"`` forces the full timing model.  :meth:`hash_with_trace`
+    defaults to the timed path regardless, because callers of the trace API
+    are usually after the performance counters.
     """
 
     name = "hashcore"
+
+    #: Default compiled-widget LRU capacity.  Verifiers re-derive the same
+    #: widget for every nonce attempt on a header and for every block
+    #: re-validation, so a small cache skips generate+compile on those
+    #: paths at negligible memory cost; pass ``widget_cache_size=0`` to
+    #: disable caching entirely.
+    DEFAULT_WIDGET_CACHE_SIZE = 16
 
     def __init__(
         self,
@@ -77,7 +88,8 @@ class HashCore:
         params: GeneratorParams | None = None,
         gate: HashGate | None = None,
         widgets_per_hash: int = 1,
-        widget_cache_size: int = 0,
+        widget_cache_size: int = DEFAULT_WIDGET_CACHE_SIZE,
+        mode: str = "fast",
     ) -> None:
         if profile is None:
             from repro.core.default_profile import default_profile
@@ -91,6 +103,9 @@ class HashCore:
             raise ValueError("widgets_per_hash must be >= 1")
         if widget_cache_size < 0:
             raise ValueError("widget_cache_size must be >= 0")
+        if mode not in ("fast", "timed"):
+            raise ValueError(f"mode must be 'fast' or 'timed', got {mode!r}")
+        self.mode = mode
         self.profile = profile
         self.machine = machine
         self.gate = gate or HashGate()
@@ -126,22 +141,31 @@ class HashCore:
         return widget
 
     def hash(self, data: bytes) -> bytes:
-        """Compute ``H(data) = G(s || W(s))``."""
-        return self.hash_with_trace(data).digest
+        """Compute ``H(data) = G(s || W(s))`` on the configured mode's
+        engine (fast path by default — the hot loop of mining)."""
+        return self.hash_with_trace(data, mode=self.mode).digest
 
-    def hash_with_trace(self, data: bytes) -> HashCoreTrace:
+    def hash_with_trace(self, data: bytes, *, mode: str | None = None) -> HashCoreTrace:
         """Compute the hash and return every intermediate artifact.
 
         With ``widgets_per_hash > 1``, widget *i* (for i >= 1) derives its
         sub-seed as ``G(s || i)`` and the outputs are concatenated in
         sequence — the sequential multi-widget variant of §IV.
+
+        ``mode`` defaults to ``"timed"`` (not the instance mode): trace
+        callers usually want meaningful performance counters, which only
+        the timing path collects.  Pass ``mode="fast"`` for a fast trace
+        whose counters report only ``retired``.  The digest is identical
+        either way.
         """
+        if mode is None:
+            mode = "timed"
         seed = self.seed_of(data)
         widgets = [self.widget_for(seed)]
         for index in range(1, self.widgets_per_hash):
             sub_seed = HashSeed(self.gate(seed.raw + struct.pack("<I", index)))
             widgets.append(self.widget_for(sub_seed))
-        results = [widget.execute(self.machine) for widget in widgets]
+        results = [widget.execute(self.machine, mode=mode) for widget in widgets]
         digest = self.gate(seed.raw + b"".join(result.output for result in results))
         return HashCoreTrace(
             seed=seed,

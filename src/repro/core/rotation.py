@@ -43,6 +43,7 @@ class RotatingHashCore:
         machine: Machine | MachineConfig | None = None,
         params: GeneratorParams | None = None,
         gate: HashGate | None = None,
+        mode: str = "fast",
     ) -> None:
         if not profiles:
             raise ConfigError("need at least one profile")
@@ -50,6 +51,9 @@ class RotatingHashCore:
             machine = Machine()
         elif isinstance(machine, MachineConfig):
             machine = Machine(machine)
+        if mode not in ("fast", "timed"):
+            raise ConfigError(f"mode must be 'fast' or 'timed', got {mode!r}")
+        self.mode = mode
         self.profiles = list(profiles)
         self.machine = machine
         self.gate = gate or HashGate()
@@ -64,15 +68,27 @@ class RotatingHashCore:
         return int.from_bytes(seed.raw, "little") % len(self.profiles)
 
     def hash(self, data: bytes) -> bytes:
-        return self.hash_with_trace(data).digest
+        """PoW digest on the configured mode's engine (fast by default)."""
+        return self.hash_with_trace(data, mode=self.mode).digest
 
-    def hash_with_trace(self, data: bytes) -> HashCoreTrace:
+    def hash_with_trace(self, data: bytes, *, mode: str | None = None) -> HashCoreTrace:
+        """Hash plus intermediates; ``mode`` defaults to the timed engine
+        so trace counters stay meaningful (see :class:`HashCore`)."""
+        if mode is None:
+            mode = "timed"
         seed = self.seed_of(data)
         generator = self.generators[self.profile_index(seed)]
         widget = generator.widget(seed)
-        result = widget.execute(self.machine)
+        result = widget.execute(self.machine, mode=mode)
         digest = self.gate(seed.raw + result.output)
-        return HashCoreTrace(seed=seed, widget=widget, result=result, digest=digest)
+        return HashCoreTrace(
+            seed=seed,
+            widget=widget,
+            result=result,
+            digest=digest,
+            widgets=[widget],
+            results=[result],
+        )
 
     def verify(self, data: bytes, digest: bytes) -> bool:
         return self.hash(data) == digest

@@ -54,12 +54,14 @@ class Widget:
         """SHA-256 of the program encoding — determinism checks key on it."""
         return self.program.fingerprint()
 
-    def execute(self, machine: Machine) -> WidgetResult:
+    def execute(self, machine: Machine, mode: str | None = None) -> WidgetResult:
         """Run the widget on ``machine`` and collect its output.
 
         Memory is freshly initialised from the widget's plan, so execution
         depends only on (widget, machine config) — a requirement for other
-        miners to verify the hash.
+        miners to verify the hash.  ``mode`` picks the execution engine
+        (``"fast"`` or ``"timed"``; default: the machine's own mode) — the
+        output bytes are identical either way, only the counters differ.
         """
         memory = machine.new_memory()
         for directive in self.spec.plan.directives():
@@ -69,6 +71,7 @@ class Widget:
             memory,
             max_instructions=int(self.spec.meta.get("fuse", 10_000_000)),
             snapshot_interval=self.spec.snapshot_interval,
+            mode=mode,
         )
         return WidgetResult(
             output=result.output,

@@ -27,6 +27,10 @@ class Program:
     #: on first use after any mutation of ``instructions`` via
     #: :meth:`invalidate_code`.
     _code: list[tuple] | None = field(default=None, repr=False, compare=False)
+    #: Lazily cached threaded-code handler list for the fast-path
+    #: interpreter (one bound closure per instruction); invalidated
+    #: together with ``_code``.
+    _fast: list | None = field(default=None, repr=False, compare=False)
 
     def code_tuples(self) -> list[tuple]:
         """Decoded instruction tuples (cached; the interpreter's hot input)."""
@@ -36,9 +40,23 @@ class Program:
             ]
         return self._code
 
+    def fast_handlers(self) -> list:
+        """Threaded-code handlers for the fast-path interpreter (cached).
+
+        Each program is decoded once into a list of bound closures — the
+        fast path's analogue of :meth:`code_tuples` — so repeated runs
+        (widget-cache hits, verification) skip per-run decode entirely.
+        """
+        if self._fast is None or len(self._fast) != len(self.instructions):
+            from repro.machine.fastpath import compile_threaded
+
+            self._fast = compile_threaded(self)
+        return self._fast
+
     def invalidate_code(self) -> None:
-        """Drop the decode cache after mutating ``instructions`` in place."""
+        """Drop the decode caches after mutating ``instructions`` in place."""
         self._code = None
+        self._fast = None
 
     def __len__(self) -> int:
         return len(self.instructions)

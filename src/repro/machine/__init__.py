@@ -13,6 +13,11 @@ cache hierarchy.  It is *not* cycle-accurate silicon — it does not need to
 be: the paper's figures compare widget IPC / branch-prediction distributions
 against a reference workload measured on the *same* platform, and this model
 plays that platform's role for both.
+
+Execution is dual-path: the timing model above (``mode="timed"``) is
+authoritative for profiling and experiments, while hashing runs on the
+functional fast path (``mode="fast"``, :mod:`repro.machine.fastpath`) that
+computes bit-identical architectural results without any timing machinery.
 """
 
 from repro.machine.config import CacheConfig, MachineConfig
@@ -25,10 +30,14 @@ from repro.machine.branch_predictor import (
 from repro.machine.cache import Cache, CacheHierarchy
 from repro.machine.memory import Memory
 from repro.machine.perf_counters import PerfCounters
-from repro.machine.cpu import ExecutionResult, Machine
+from repro.machine.cpu import EXECUTION_MODES, ExecutionResult, Machine
 from repro.machine.energy import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.machine.fastpath import compile_threaded, run_fast
 
 __all__ = [
+    "EXECUTION_MODES",
+    "compile_threaded",
+    "run_fast",
     "CacheConfig",
     "MachineConfig",
     "AlwaysTakenPredictor",

@@ -24,6 +24,12 @@ out-of-range result is replaced by 1.0, memory<->float conversions use a
 fixed-point mapping, and division by (near-)zero yields a defined constant.
 Determinism of the *entire* architectural trace is what makes widget outputs
 verifiable by other miners (§IV-A, irreducibility).
+
+This timing path is one half of a dual-path engine: hashing runs on the
+functional fast path in :mod:`repro.machine.fastpath` (same architectural
+semantics, no timing model), selected by the ``mode`` knob on
+:class:`Machine`.  The two interpreters are differential-tested to be
+bit-identical; this one stays authoritative for every timing question.
 """
 
 from __future__ import annotations
@@ -76,15 +82,35 @@ class ExecutionResult:
         return len(self.output)
 
 
+#: Execution modes a :class:`Machine` supports.  ``timed`` runs the full
+#: analytic out-of-order model (authoritative for profiling and every IPC
+#: experiment); ``fast`` runs the functional fast path in
+#: :mod:`repro.machine.fastpath` — bit-identical architectural results,
+#: no timing, several times the throughput (what the miner/verifier use).
+EXECUTION_MODES = ("timed", "fast")
+
+
 class Machine:
     """A simulated GPP built from a :class:`MachineConfig`.
 
     A single ``Machine`` may run many programs; each :meth:`run` starts from
     cold microarchitectural state (fresh caches and predictor) so results
     are independent of run order — required for PoW verifiability.
+
+    ``mode`` selects the default execution engine for :meth:`run` (see
+    :data:`EXECUTION_MODES`); individual runs may override it.  Because
+    timing never feeds back into architectural state, the mode can never
+    change a program's outputs — only how long computing them takes.
     """
 
-    def __init__(self, config: MachineConfig | None = None) -> None:
+    def __init__(
+        self, config: MachineConfig | None = None, mode: str = "timed"
+    ) -> None:
+        if mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        self.mode = mode
         self.config = config or MachineConfig()
         cfg = self.config
         # Per-opcode latency table (loads patched at access time).
@@ -118,6 +144,7 @@ class Machine:
         collect_detail: bool = False,
         initial_iregs: list[int] | None = None,
         initial_fregs: list[float] | None = None,
+        mode: str | None = None,
     ) -> ExecutionResult:
         """Execute ``program`` to completion.
 
@@ -126,9 +153,34 @@ class Machine:
         termination) — the widget output mechanism of §IV-B.  ``collect_detail``
         additionally gathers the profiler's histograms (slower).
 
+        ``mode`` overrides the machine's default execution engine for this
+        run: ``"fast"`` dispatches to the functional fast path (identical
+        architectural results, counters report only ``retired``);
+        ``"timed"`` runs the full timing model.  ``collect_detail`` always
+        implies the timing path — the detail histograms *are* timing
+        instrumentation.
+
         Raises :class:`ExecutionLimitExceeded` when ``max_instructions``
         retire without the program halting.
         """
+        if mode is None:
+            mode = self.mode
+        elif mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        if mode == "fast" and not collect_detail:
+            from repro.machine.fastpath import run_fast
+
+            return run_fast(
+                self,
+                program,
+                memory,
+                max_instructions=max_instructions,
+                snapshot_interval=snapshot_interval,
+                initial_iregs=initial_iregs,
+                initial_fregs=initial_fregs,
+            )
         cfg = self.config
         if memory is None:
             memory = self.new_memory()

@@ -109,6 +109,7 @@ class SelectionHashCore:
         machine: Machine | None = None,
         widgets_per_hash: int = 1,
         gate=None,
+        mode: str = "fast",
     ) -> None:
         from repro.core.hash_gate import HashGate
 
@@ -116,6 +117,7 @@ class SelectionHashCore:
         self.machine = machine or Machine()
         self.widgets_per_hash = widgets_per_hash
         self.gate = gate or HashGate()
+        self.mode = mode
 
     def seed_of(self, data: bytes) -> HashSeed:
         return HashSeed(self.gate(data))
@@ -124,7 +126,7 @@ class SelectionHashCore:
         seed = self.seed_of(data)
         parts = [seed.raw]
         for widget in self.pool.select(seed, self.widgets_per_hash):
-            parts.append(widget.execute(self.machine).output)
+            parts.append(widget.execute(self.machine, mode=self.mode).output)
         return self.gate(b"".join(parts))
 
     def verify(self, data: bytes, digest: bytes) -> bool:

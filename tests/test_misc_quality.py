@@ -72,6 +72,42 @@ class TestWidgetCache:
             HashCore(profile=leela_profile, params=test_params,
                      widget_cache_size=-1)
 
+    def test_cache_enabled_by_default(self, leela_profile, test_params):
+        from repro.core.hashcore import HashCore
+
+        assert HashCore.DEFAULT_WIDGET_CACHE_SIZE > 0
+        hashcore = HashCore(profile=leela_profile, params=test_params)
+        seed = hashcore.seed_of(b"default-cache")
+        assert hashcore.widget_for(seed) is hashcore.widget_for(seed)
+
+    def test_cache_size_zero_bypasses(self, leela_profile, test_params):
+        from repro.core.hashcore import HashCore
+
+        hashcore = HashCore(profile=leela_profile, params=test_params,
+                            widget_cache_size=0)
+        seed = hashcore.seed_of(b"no-cache")
+        first = hashcore.widget_for(seed)
+        second = hashcore.widget_for(seed)
+        assert first is not second  # regenerated every call
+        assert first.fingerprint() == second.fingerprint()  # still deterministic
+        assert not hashcore._widget_cache  # nothing retained
+
+    def test_cache_refresh_changes_eviction_victim(self, leela_profile,
+                                                   test_params):
+        from repro.core.hashcore import HashCore
+
+        hashcore = HashCore(profile=leela_profile, params=test_params,
+                            widget_cache_size=2)
+        seeds = [hashcore.seed_of(str(i).encode()) for i in range(3)]
+        first = hashcore.widget_for(seeds[0])
+        second = hashcore.widget_for(seeds[1])
+        # Re-touching seeds[0] makes seeds[1] the least recently used, so
+        # inserting seeds[2] must evict seeds[1], not seeds[0].
+        assert hashcore.widget_for(seeds[0]) is first
+        hashcore.widget_for(seeds[2])
+        assert hashcore.widget_for(seeds[0]) is first  # survived
+        assert hashcore.widget_for(seeds[1]) is not second  # evicted
+
 
 class TestParallelMiner:
     def test_parallel_matches_target(self):
@@ -105,6 +141,23 @@ class TestParallelMiner:
         with pytest.raises(PowError):
             mine_header_parallel(header, Sha256d, workers=2, chunk=16,
                                  max_attempts=64)
+
+    def test_attempts_never_exceed_max_attempts(self):
+        # chunk > max_attempts: the single submitted range is a partial
+        # chunk, and the attempt count must reflect its actual size rather
+        # than crediting a full chunk per completed future.
+        from repro.baselines.sha256d import Sha256d
+        from repro.blockchain.block import BlockHeader
+        from repro.blockchain.miner import mine_header_parallel
+        from repro.core.pow import difficulty_to_target, target_to_compact
+
+        bits = target_to_compact(difficulty_to_target(2.0))
+        header = BlockHeader(1, bytes(32), bytes(32), 0, bits, 0)
+        solved, digest, attempts = mine_header_parallel(
+            header, Sha256d, workers=2, chunk=1000, max_attempts=50
+        )
+        assert 1 <= attempts <= 50
+        assert solved.nonce < 50
 
     def test_bad_params_rejected(self):
         from repro.baselines.sha256d import Sha256d
