@@ -1,0 +1,112 @@
+"""Hash-rate regression gate.
+
+Re-measures the cached-widget hash rate of the accelerated execution tiers
+(``fast`` and ``jit``) and compares each against the committed
+``BENCH_hashrate.json``.  Exits non-zero when either tier has lost more
+than ``--threshold`` (default 20%) of its committed rate — the cheap guard
+against silently pessimising the hot paths.
+
+Only the cached-widget regime is gated: it isolates execution speed from
+widget generation/compilation (which every tier pays identically), so it
+is the number a code change can actually regress.  The tolerance is wide
+because these are wall-clock rates on a shared box; catching a 2× cliff
+matters, chasing ±10% noise does not.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+Not a pytest module — it is invoked directly by the verification recipe
+(see ``.claude/skills/verify/SKILL.md``) and by hand before committing a
+refreshed ``BENCH_hashrate.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_hashrate import _best_rate, _params  # noqa: E402
+
+from repro.core.hashcore import HashCore  # noqa: E402
+from repro.machine.config import PRESETS, preset  # noqa: E402
+
+#: Tiers the gate protects (the timed path is the reference model, not a
+#: perf artifact, so it is deliberately not gated).
+_GATED_MODES = ("fast", "jit")
+
+
+def measure_cached(machine_name: str, instructions: int, hashes: int,
+                   repeats: int) -> dict[str, float]:
+    """Fresh cached-widget hash/s for every gated tier."""
+    header = b"bench-header"
+    rates: dict[str, float] = {}
+    for mode in _GATED_MODES:
+        core = HashCore(machine=preset(machine_name),
+                        params=_params(instructions), mode=mode)
+        core.hash(header)  # warm: generation + compilation off the clock
+        rates[mode] = _best_rate(
+            lambda i, c=core: c.hash(header), hashes, repeats
+        )
+    return rates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--committed", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_hashrate.json"),
+                        help="baseline artifact to compare against")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional drop (0.20 = 20%%)")
+    parser.add_argument("--machine", choices=sorted(PRESETS), default=None,
+                        help="machine preset (default: the committed one)")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="widget size (default: the committed one)")
+    parser.add_argument("--hashes", type=int, default=5,
+                        help="hashes per timing repeat")
+    parser.add_argument("--repeats", type=int, default=6,
+                        help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+
+    if not args.committed.exists():
+        print(f"no committed baseline at {args.committed}; nothing to gate")
+        return 2
+    committed = json.loads(args.committed.read_text())
+    try:
+        baseline = {
+            mode: committed["cached_widget"][f"{mode}_hash_s"]
+            for mode in _GATED_MODES
+        }
+    except KeyError as exc:
+        print(f"{args.committed} lacks {exc} — regenerate it with "
+              f"benchmarks/bench_hashrate.py")
+        return 2
+
+    machine = args.machine or committed.get("machine", "ivy-bridge")
+    instructions = args.instructions or committed.get(
+        "target_instructions", 60_000
+    )
+    fresh = measure_cached(machine, instructions, args.hashes, args.repeats)
+
+    failed = False
+    for mode in _GATED_MODES:
+        old, new = baseline[mode], fresh[mode]
+        drop = 1.0 - new / old
+        verdict = "FAIL" if drop > args.threshold else "ok"
+        failed |= verdict == "FAIL"
+        print(f"{mode:>5}: committed {old:8.2f} hash/s, fresh {new:8.2f} "
+              f"hash/s ({-drop:+.1%})  {verdict}")
+    if failed:
+        print(f"regression gate FAILED: a tier dropped more than "
+              f"{args.threshold:.0%} below {args.committed}")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,338 @@
+"""Persistent-worker mining engine.
+
+:func:`repro.blockchain.miner.mine_header_parallel` tears its process pool
+down after every header, so each call re-pays worker spawn and PoW-function
+construction, and a fixed chunk size either starves workers (too small) or
+serializes the search (too large — a 2048-nonce chunk of HashCore takes
+most of a minute).  This engine keeps the miner's machinery alive:
+
+* **Persistent workers** — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose initializer constructs the PoW function exactly once per worker
+  process; HashCore's compiled-widget LRU and the per-program fast/JIT
+  code caches stay warm across chunks *and across headers*.
+* **Adaptive chunk sizing** — per-worker hash rate is tracked as an
+  exponential moving average and each batch is sized to take roughly
+  ``target_batch_seconds``, so cheap PoWs get big ranges and HashCore gets
+  small ones without manual tuning.
+* **Early cancellation** — a shared :class:`multiprocessing` event is set
+  the moment any worker reports a solution; in-flight workers poll it (at
+  most every ``_CANCEL_POLL_SECONDS``) and abandon their ranges instead of
+  scanning to the end.
+* **Stats channel** — every batch reports hashes done, wall time, worker
+  pid and the PoW object's ``cache_stats()`` (when it has one); the
+  aggregate is available as :meth:`MiningEngine.report`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.blockchain.block import BlockHeader
+from repro.core.pow import PowFunction, compact_to_target, meets_target
+from repro.errors import PowError
+
+#: Per-process state installed by :func:`_engine_init`.
+_WORKER_POW: PowFunction | None = None
+_WORKER_CANCEL = None
+
+#: Workers look at the cancel event at most once per this many hashes and
+#: at most once per this many seconds — the event is a manager proxy, so a
+#: check is an IPC round trip and must stay off the per-hash path.
+_CANCEL_POLL_HASHES = 16
+_CANCEL_POLL_SECONDS = 0.02
+
+
+def _engine_init(factory: Callable[[], PowFunction], cancel_event) -> None:
+    """Pool initializer: construct this worker's PoW function once and
+    remember the shared cancellation event."""
+    global _WORKER_POW, _WORKER_CANCEL
+    _WORKER_POW = factory()
+    _WORKER_CANCEL = cancel_event
+
+
+def _engine_search(args) -> tuple:
+    """Worker: scan one nonce range, honouring early cancellation.
+
+    Returns ``(found_nonce_or_None, digest_or_None, hashes_done,
+    elapsed_seconds, pid, cancelled, cache_stats_or_None)`` — the per-batch
+    record the engine aggregates into its hashrate report.
+    """
+    header_bytes, start, count, target = args
+    pow_fn = _WORKER_POW
+    cancel = _WORKER_CANCEL
+    header = BlockHeader.deserialize(header_bytes)
+    began = time.perf_counter()
+    last_poll = began
+    hashes = 0
+    found = None
+    digest = None
+    cancelled = False
+    for nonce in range(start, start + count):
+        if cancel is not None and hashes % _CANCEL_POLL_HASHES == 0:
+            now = time.perf_counter()
+            if now - last_poll >= _CANCEL_POLL_SECONDS:
+                last_poll = now
+                if cancel.is_set():
+                    cancelled = True
+                    break
+        candidate = pow_fn.hash(header.with_nonce(nonce).serialize())
+        hashes += 1
+        if meets_target(candidate, target):
+            found = nonce
+            digest = candidate
+            break
+    stats_fn = getattr(pow_fn, "cache_stats", None)
+    stats = stats_fn() if callable(stats_fn) else None
+    elapsed = time.perf_counter() - began
+    return (found, digest, hashes, elapsed, os.getpid(), cancelled, stats)
+
+
+@dataclass(slots=True)
+class WorkerStats:
+    """Accumulated per-worker counters from the stats channel."""
+
+    pid: int
+    batches: int = 0
+    hashes: int = 0
+    busy_seconds: float = 0.0
+    cancelled_batches: int = 0
+    #: Latest ``cache_stats()`` document the worker's PoW object reported
+    #: (None when the PoW function exposes no cache statistics).
+    cache_stats: dict | None = None
+
+    @property
+    def hashrate(self) -> float:
+        """This worker's busy-time hash rate."""
+        return self.hashes / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+
+@dataclass(slots=True)
+class EngineReport:
+    """Aggregate hashrate report across everything the engine has mined."""
+
+    workers: int
+    batches: int
+    hashes: int
+    wall_seconds: float
+    busy_seconds: float
+    chunk: int
+    per_worker: dict[int, WorkerStats] = field(default_factory=dict)
+
+    @property
+    def hashrate(self) -> float:
+        """Aggregate hashes per wall-clock second."""
+        return self.hashes / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class MiningEngine:
+    """A long-lived multi-process nonce-search engine.
+
+    ``pow_factory`` must be picklable and is invoked once per worker
+    process (see :func:`_engine_init`).  The engine may be used for many
+    headers; workers — and the warm caches inside their PoW functions —
+    persist until :meth:`close`.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        pow_factory: Callable[[], PowFunction],
+        *,
+        workers: int = 2,
+        target_batch_seconds: float = 0.5,
+        initial_chunk: int = 32,
+        min_chunk: int = 8,
+        max_chunk: int = 1 << 20,
+    ) -> None:
+        if workers < 1:
+            raise PowError("workers must be >= 1")
+        if target_batch_seconds <= 0:
+            raise PowError("target_batch_seconds must be positive")
+        if not 1 <= min_chunk <= initial_chunk <= max_chunk:
+            raise PowError("need 1 <= min_chunk <= initial_chunk <= max_chunk")
+        self.pow_factory = pow_factory
+        self.workers = workers
+        self.target_batch_seconds = target_batch_seconds
+        self.min_chunk = min_chunk
+        self.max_chunk = max_chunk
+        self._chunk = float(initial_chunk)
+        self._rate_ema: float | None = None  # per-worker hashes/second
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._manager = None
+        self._cancel = None
+        self._stats: dict[int, WorkerStats] = {}
+        self._batches = 0
+        self._hashes = 0
+        self._busy = 0.0
+        self._wall = 0.0
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        # A Manager-backed event survives pickling through the executor's
+        # initargs (raw multiprocessing primitives do not).
+        self._manager = multiprocessing.Manager()
+        self._cancel = self._manager.Event()
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_engine_init,
+            initargs=(self.pow_factory, self._cancel),
+        )
+
+    def _chunk_size(self) -> int:
+        return max(self.min_chunk, min(self.max_chunk, int(self._chunk)))
+
+    def _record(
+        self,
+        pid: int,
+        hashes: int,
+        elapsed: float,
+        cancelled: bool,
+        cache_stats: dict | None,
+    ) -> None:
+        stats = self._stats.get(pid)
+        if stats is None:
+            stats = self._stats[pid] = WorkerStats(pid=pid)
+        stats.batches += 1
+        stats.hashes += hashes
+        stats.busy_seconds += elapsed
+        stats.cancelled_batches += 1 if cancelled else 0
+        if cache_stats is not None:
+            stats.cache_stats = cache_stats
+        self._batches += 1
+        self._hashes += hashes
+        self._busy += elapsed
+        if hashes and elapsed > 0:
+            rate = hashes / elapsed
+            self._rate_ema = (
+                rate
+                if self._rate_ema is None
+                else 0.7 * self._rate_ema + 0.3 * rate
+            )
+            self._chunk = max(
+                1.0, self._rate_ema * self.target_batch_seconds
+            )
+
+    # ------------------------------------------------------------------
+    def mine_header(
+        self,
+        header: BlockHeader,
+        *,
+        max_attempts: int = 1_000_000,
+        start_nonce: int = 0,
+    ) -> tuple[BlockHeader, bytes, int]:
+        """Search nonces for ``header``; same triple as ``mine_header``.
+
+        ``attempts`` counts hashes actually computed (cancelled ranges
+        credit only what they scanned), so it never exceeds
+        ``max_attempts``.  Raises :class:`PowError` when the nonce budget
+        is exhausted without a solution.
+        """
+        if max_attempts < 1:
+            raise PowError("max_attempts must be >= 1")
+        self._ensure_pool()
+        self._cancel.clear()
+        target = compact_to_target(header.bits)
+        header_bytes = header.serialize()
+        end_nonce = start_nonce + max_attempts
+        next_nonce = start_nonce
+        attempts = 0
+        best: tuple[int, bytes] | None = None
+        pending: dict[concurrent.futures.Future, int] = {}
+        began = time.perf_counter()
+        try:
+            while True:
+                while (
+                    best is None
+                    and len(pending) < self.workers
+                    and next_nonce < end_nonce
+                ):
+                    count = min(self._chunk_size(), end_nonce - next_nonce)
+                    future = self._pool.submit(
+                        _engine_search,
+                        (header_bytes, next_nonce, count, target),
+                    )
+                    pending[future] = count
+                    next_nonce += count
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    pending.pop(future)
+                    found, digest, hashes, elapsed, pid, cancelled, stats = (
+                        future.result()
+                    )
+                    attempts += hashes
+                    self._record(pid, hashes, elapsed, cancelled, stats)
+                    if found is not None and (best is None or found < best[0]):
+                        best = (found, digest)
+                        # Broadcast: in-flight workers drop their ranges.
+                        self._cancel.set()
+        finally:
+            self._wall += time.perf_counter() - began
+        if best is not None:
+            return header.with_nonce(best[0]), best[1], attempts
+        raise PowError(
+            f"no solution in {max_attempts} attempts (mining engine)"
+        )
+
+    def report(self) -> EngineReport:
+        """Aggregate hashrate/stats report over the engine's lifetime."""
+        return EngineReport(
+            workers=self.workers,
+            batches=self._batches,
+            hashes=self._hashes,
+            wall_seconds=self._wall,
+            busy_seconds=self._busy,
+            chunk=self._chunk_size(),
+            per_worker=dict(self._stats),
+        )
+
+    def close(self) -> None:
+        """Shut the pool down.  Safe to call twice; the engine rebuilds its
+        pool lazily if mined again afterwards."""
+        if self._cancel is not None:
+            try:
+                self._cancel.set()  # unstick any straggling workers
+            except Exception:
+                pass  # manager may already be gone
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+        self._cancel = None
+
+    def __enter__(self) -> "MiningEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def mine_header_engine(
+    header: BlockHeader,
+    pow_factory: Callable[[], PowFunction],
+    *,
+    workers: int = 2,
+    max_attempts: int = 1_000_000,
+    start_nonce: int = 0,
+    **engine_kwargs,
+) -> tuple[BlockHeader, bytes, int]:
+    """One-shot convenience: mine a single header on a fresh engine.
+
+    Prefer holding a :class:`MiningEngine` open when mining several
+    headers — that is the whole point of the persistent pool.
+    """
+    with MiningEngine(pow_factory, workers=workers, **engine_kwargs) as engine:
+        return engine.mine_header(
+            header, max_attempts=max_attempts, start_nonce=start_nonce
+        )

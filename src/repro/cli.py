@@ -62,17 +62,18 @@ def _hashcore(args) -> HashCore:
 def cmd_hash(args) -> int:
     """Compute and display one HashCore evaluation."""
     hashcore = _hashcore(args)
+    mode = hashcore.mode  # "auto" resolved to the fastest available tier
     start = time.perf_counter()
-    trace = hashcore.hash_with_trace(args.data.encode(), mode=args.mode)
+    trace = hashcore.hash_with_trace(args.data.encode(), mode=mode)
     elapsed = time.perf_counter() - start
     print(f"seed   : {trace.seed.hex}")
     for widget, result in zip(trace.widgets, trace.results):
         line = f"widget : {widget.name}  retired={result.counters.retired:,}"
-        if args.mode == "timed":  # IPC exists only on the timing path
+        if mode == "timed":  # IPC exists only on the timing path
             line += f" ipc={result.counters.ipc:.2f}"
         print(f"{line} output={result.output_size:,}B")
     print(f"digest : {trace.digest.hex()}")
-    print(f"time   : {elapsed:.2f}s ({args.mode} path)")
+    print(f"time   : {elapsed:.2f}s ({mode} path)")
     return 0
 
 
@@ -143,8 +144,49 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+class _CliPowFactory:
+    """Picklable HashCore factory for mining-engine worker processes.
+
+    Captures only the CLI's plain-value knobs (preset name, instruction
+    target, mode, profile path) so it crosses the process boundary; each
+    worker reconstructs its own HashCore — and keeps it, caches and all,
+    for the life of the pool.
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        instructions: int,
+        widgets: int,
+        mode: str,
+        profile: str | None,
+    ) -> None:
+        self.machine = machine
+        self.instructions = instructions
+        self.widgets = widgets
+        self.mode = mode
+        self.profile = profile
+
+    def __call__(self) -> HashCore:
+        return _hashcore(
+            argparse.Namespace(
+                machine=self.machine,
+                instructions=self.instructions,
+                widgets=self.widgets,
+                mode=self.mode,
+                profile=self.profile,
+            )
+        )
+
+
 def cmd_mine(args) -> int:
-    """Mine a short fully-validated HashCore chain."""
+    """Mine a short fully-validated HashCore chain.
+
+    With ``--workers N`` (N > 1) the nonce search runs on a persistent
+    :class:`~repro.blockchain.mining_engine.MiningEngine` whose worker
+    pool — and the warm widget/JIT caches inside it — survives across all
+    mined blocks.
+    """
     from repro.blockchain.block import Block
     from repro.blockchain.chain import Blockchain
     from repro.blockchain.difficulty import RetargetSchedule
@@ -155,22 +197,53 @@ def cmd_mine(args) -> int:
     bits = target_to_compact(difficulty_to_target(args.difficulty))
     chain = Blockchain(hashcore, genesis_bits=bits,
                        schedule=RetargetSchedule(interval=10_000))
-    for height in range(1, args.blocks + 1):
-        block = Block.build(
-            prev_hash=chain.tip_id,
-            transactions=[f"coinbase-{height}".encode()],
-            timestamp=30 * height,
-            bits=chain.expected_bits(chain.tip_id),
+    engine = None
+    if args.workers > 1:
+        from repro.blockchain.mining_engine import MiningEngine
+
+        factory = _CliPowFactory(
+            args.machine, args.instructions, args.widgets, args.mode,
+            args.profile,
         )
-        start = time.perf_counter()
-        mined = mine_block(block, hashcore,
-                           max_attempts=int(args.difficulty * 100))
-        chain.add_block(mined.block)
-        print(
-            f"height {height}: nonce={mined.block.header.nonce} "
-            f"attempts={mined.attempts} time={time.perf_counter()-start:.1f}s "
-            f"digest={mined.digest.hex()[:24]}…"
-        )
+        engine = MiningEngine(factory, workers=args.workers)
+    try:
+        for height in range(1, args.blocks + 1):
+            block = Block.build(
+                prev_hash=chain.tip_id,
+                transactions=[f"coinbase-{height}".encode()],
+                timestamp=30 * height,
+                bits=chain.expected_bits(chain.tip_id),
+            )
+            start = time.perf_counter()
+            max_attempts = int(args.difficulty * 100)
+            if engine is not None:
+                solved, digest, attempts = engine.mine_header(
+                    block.header, max_attempts=max_attempts
+                )
+                mined_block = Block(
+                    header=solved, transactions=block.transactions
+                )
+            else:
+                mined = mine_block(block, hashcore, max_attempts=max_attempts)
+                mined_block, digest = mined.block, mined.digest
+                attempts = mined.attempts
+            chain.add_block(mined_block)
+            print(
+                f"height {height}: nonce={mined_block.header.nonce} "
+                f"attempts={attempts} time={time.perf_counter()-start:.1f}s "
+                f"digest={digest.hex()[:24]}…"
+            )
+        if engine is not None:
+            report = engine.report()
+            print(
+                f"engine : {report.workers} workers, "
+                f"{report.hashes:,} hashes, "
+                f"{report.hashrate:.1f} hash/s aggregate, "
+                f"adaptive chunk {report.chunk}"
+            )
+    finally:
+        if engine is not None:
+            engine.close()
     print(f"chain height {chain.height()}, total work {chain.total_work():.1f}")
     return 0
 
@@ -232,9 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--widgets", type=int, default=1, help="widgets per hash (sequential)"
     )
     parser.add_argument(
-        "--mode", choices=("fast", "timed"), default="fast",
-        help="execution engine: functional fast path (default) or the "
-        "timing model (enables IPC/branch counters)",
+        "--mode", choices=("auto", "jit", "fast", "timed"), default="auto",
+        help="execution engine: 'auto' (default) picks the fastest "
+        "functional tier (currently the JIT); 'jit'/'fast' pin a "
+        "functional tier; 'timed' runs the timing model (enables "
+        "IPC/branch counters)",
     )
     parser.add_argument(
         "--profile", default=None, metavar="JSON",
@@ -267,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mine", help="mine a short HashCore chain")
     p.add_argument("--difficulty", type=float, default=4.0)
     p.add_argument("--blocks", type=int, default=2)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 mines on the persistent engine",
+    )
     p.set_defaults(fn=cmd_mine)
 
     p = sub.add_parser("pool", help="build a widget pool and report §VI-A stats")

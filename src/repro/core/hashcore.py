@@ -21,7 +21,7 @@ from repro.core.hash_gate import HashGate
 from repro.core.seed import HashSeed
 from repro.core.widget import Widget, WidgetResult
 from repro.machine.config import MachineConfig
-from repro.machine.cpu import Machine
+from repro.machine.cpu import Machine, resolve_mode
 from repro.profiling.profile import PerformanceProfile
 from repro.widgetgen.generator import WidgetGenerator
 from repro.widgetgen.params import GeneratorParams
@@ -63,11 +63,12 @@ class HashCore:
     Arguments default to the paper's setup: the Leela profile on the
     Ivy-Bridge-like machine with SHA-256 gates.
 
-    Execution is dual-path: ``mode`` selects the engine :meth:`hash` and
-    :meth:`verify` run widgets on.  The default ``"fast"`` uses the
-    functional fast path (several times the throughput; differential-tested
-    bit-identical to the timing model, so digests are unaffected);
-    ``"timed"`` forces the full timing model.  :meth:`hash_with_trace`
+    Execution is tiered: ``mode`` selects the engine :meth:`hash` and
+    :meth:`verify` run widgets on.  The default ``"auto"`` resolves to the
+    fastest available functional tier (currently the tier-2 JIT — every
+    tier is differential-tested bit-identical to the timing model, so
+    digests are unaffected); ``"jit"``/``"fast"`` pin a functional tier
+    and ``"timed"`` forces the full timing model.  :meth:`hash_with_trace`
     defaults to the timed path regardless, because callers of the trace API
     are usually after the performance counters.
     """
@@ -89,7 +90,7 @@ class HashCore:
         gate: HashGate | None = None,
         widgets_per_hash: int = 1,
         widget_cache_size: int = DEFAULT_WIDGET_CACHE_SIZE,
-        mode: str = "fast",
+        mode: str = "auto",
     ) -> None:
         if profile is None:
             from repro.core.default_profile import default_profile
@@ -103,9 +104,7 @@ class HashCore:
             raise ValueError("widgets_per_hash must be >= 1")
         if widget_cache_size < 0:
             raise ValueError("widget_cache_size must be >= 0")
-        if mode not in ("fast", "timed"):
-            raise ValueError(f"mode must be 'fast' or 'timed', got {mode!r}")
-        self.mode = mode
+        self.mode = resolve_mode(mode, ValueError)
         self.profile = profile
         self.machine = machine
         self.gate = gate or HashGate()
@@ -117,6 +116,9 @@ class HashCore:
         # skip execution — that *is* the proof of work).
         self._cache_size = widget_cache_size
         self._widget_cache: dict[bytes, Widget] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
 
     # ------------------------------------------------------------------
     def seed_of(self, data: bytes) -> HashSeed:
@@ -127,18 +129,49 @@ class HashCore:
         """Generate and compile the widget selected by ``seed`` (cached
         when ``widget_cache_size > 0``)."""
         if self._cache_size == 0:
+            self._cache_misses += 1
             return self.generator.widget(seed)
         cached = self._widget_cache.get(seed.raw)
         if cached is not None:
             # Refresh LRU position (dict preserves insertion order).
             del self._widget_cache[seed.raw]
             self._widget_cache[seed.raw] = cached
+            self._cache_hits += 1
             return cached
+        self._cache_misses += 1
         widget = self.generator.widget(seed)
         self._widget_cache[seed.raw] = widget
         if len(self._widget_cache) > self._cache_size:
             del self._widget_cache[next(iter(self._widget_cache))]
+            self._cache_evictions += 1
         return widget
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/eviction counters for the compiled-widget LRU, plus the
+        aggregated decode-tier counters of every currently cached program.
+
+        The mining engine's per-worker stats channel and
+        ``benchmarks/bench_hashrate.py`` both report this document.
+        """
+        programs = {
+            "code_builds": 0, "code_hits": 0,
+            "fast_builds": 0, "fast_hits": 0,
+            "jit_builds": 0, "jit_hits": 0,
+        }
+        for widget in self._widget_cache.values():
+            for key, value in widget.program.cache_stats().items():
+                if key in programs:
+                    programs[key] += value
+        return {
+            "widget_cache": {
+                "capacity": self._cache_size,
+                "size": len(self._widget_cache),
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+            },
+            "programs": programs,
+        }
 
     def hash(self, data: bytes) -> bytes:
         """Compute ``H(data) = G(s || W(s))`` on the configured mode's

@@ -26,7 +26,7 @@ from repro.core.hashcore import HashCoreTrace
 from repro.core.seed import HashSeed
 from repro.errors import ConfigError
 from repro.machine.config import MachineConfig
-from repro.machine.cpu import Machine
+from repro.machine.cpu import Machine, resolve_mode
 from repro.profiling.profile import PerformanceProfile
 from repro.widgetgen.generator import WidgetGenerator
 from repro.widgetgen.params import GeneratorParams
@@ -43,7 +43,7 @@ class RotatingHashCore:
         machine: Machine | MachineConfig | None = None,
         params: GeneratorParams | None = None,
         gate: HashGate | None = None,
-        mode: str = "fast",
+        mode: str = "auto",
     ) -> None:
         if not profiles:
             raise ConfigError("need at least one profile")
@@ -51,9 +51,7 @@ class RotatingHashCore:
             machine = Machine()
         elif isinstance(machine, MachineConfig):
             machine = Machine(machine)
-        if mode not in ("fast", "timed"):
-            raise ConfigError(f"mode must be 'fast' or 'timed', got {mode!r}")
-        self.mode = mode
+        self.mode = resolve_mode(mode, ConfigError)
         self.profiles = list(profiles)
         self.machine = machine
         self.gate = gate or HashGate()
@@ -68,7 +66,8 @@ class RotatingHashCore:
         return int.from_bytes(seed.raw, "little") % len(self.profiles)
 
     def hash(self, data: bytes) -> bytes:
-        """PoW digest on the configured mode's engine (fast by default)."""
+        """PoW digest on the configured mode's engine (the fastest
+        functional tier by default)."""
         return self.hash_with_trace(data, mode=self.mode).digest
 
     def hash_with_trace(self, data: bytes, *, mode: str | None = None) -> HashCoreTrace:

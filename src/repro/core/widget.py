@@ -59,9 +59,10 @@ class Widget:
 
         Memory is freshly initialised from the widget's plan, so execution
         depends only on (widget, machine config) — a requirement for other
-        miners to verify the hash.  ``mode`` picks the execution engine
-        (``"fast"`` or ``"timed"``; default: the machine's own mode) — the
-        output bytes are identical either way, only the counters differ.
+        miners to verify the hash.  ``mode`` picks the execution tier
+        (``"timed"``, ``"fast"`` or ``"jit"``; default: the machine's own
+        mode) — the output bytes are identical on every tier, only the
+        counters differ.
         """
         memory = machine.new_memory()
         for directive in self.spec.plan.directives():

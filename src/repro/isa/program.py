@@ -31,6 +31,23 @@ class Program:
     #: interpreter (one bound closure per instruction); invalidated
     #: together with ``_code``.
     _fast: list | None = field(default=None, repr=False, compare=False)
+    #: Lazily cached tier-2 JIT artifact (segment functions compiled from
+    #: generated Python source); invalidated together with ``_code``.
+    _jit: object | None = field(default=None, repr=False, compare=False)
+    #: Build/hit counters for the three decode caches, surfaced through
+    #: :meth:`cache_stats` (and aggregated by HashCore / WidgetPool).
+    _tier_stats: dict = field(
+        default_factory=lambda: {
+            "code_builds": 0,
+            "code_hits": 0,
+            "fast_builds": 0,
+            "fast_hits": 0,
+            "jit_builds": 0,
+            "jit_hits": 0,
+        },
+        repr=False,
+        compare=False,
+    )
 
     def code_tuples(self) -> list[tuple]:
         """Decoded instruction tuples (cached; the interpreter's hot input)."""
@@ -38,6 +55,9 @@ class Program:
             self._code = [
                 (i.op, i.a, i.b, i.c, i.imm) for i in self.instructions
             ]
+            self._tier_stats["code_builds"] += 1
+        else:
+            self._tier_stats["code_hits"] += 1
         return self._code
 
     def fast_handlers(self) -> list:
@@ -51,12 +71,42 @@ class Program:
             from repro.machine.fastpath import compile_threaded
 
             self._fast = compile_threaded(self)
+            self._tier_stats["fast_builds"] += 1
+        else:
+            self._tier_stats["fast_hits"] += 1
         return self._fast
+
+    def jit_code(self):
+        """Tier-2 JIT artifact for this program (cached).
+
+        The program is translated once into specialized Python source —
+        one function per straight-line segment, registers as locals — and
+        the compiled :class:`~repro.machine.jit.JitCode` is cached here so
+        widget-cache hits, verification and persistent mining workers pay
+        the translation cost only once.
+        """
+        if self._jit is None or self._jit.length != len(self.instructions):
+            from repro.machine.jit import compile_jit
+
+            self._jit = compile_jit(self)
+            self._tier_stats["jit_builds"] += 1
+        else:
+            self._tier_stats["jit_hits"] += 1
+        return self._jit
+
+    def cache_stats(self) -> dict:
+        """Build/hit counters plus readiness flags for the decode caches."""
+        stats = dict(self._tier_stats)
+        stats["code_ready"] = self._code is not None
+        stats["fast_ready"] = self._fast is not None
+        stats["jit_ready"] = self._jit is not None
+        return stats
 
     def invalidate_code(self) -> None:
         """Drop the decode caches after mutating ``instructions`` in place."""
         self._code = None
         self._fast = None
+        self._jit = None
 
     def __len__(self) -> int:
         return len(self.instructions)

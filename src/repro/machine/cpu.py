@@ -82,12 +82,35 @@ class ExecutionResult:
         return len(self.output)
 
 
-#: Execution modes a :class:`Machine` supports.  ``timed`` runs the full
-#: analytic out-of-order model (authoritative for profiling and every IPC
-#: experiment); ``fast`` runs the functional fast path in
-#: :mod:`repro.machine.fastpath` — bit-identical architectural results,
-#: no timing, several times the throughput (what the miner/verifier use).
-EXECUTION_MODES = ("timed", "fast")
+#: Execution modes a :class:`Machine` supports — the execution-tier
+#: ladder.  ``timed`` runs the full analytic out-of-order model
+#: (authoritative for profiling and every IPC experiment); ``fast`` runs
+#: the threaded-code functional path in :mod:`repro.machine.fastpath`;
+#: ``jit`` runs the tier-2 JIT in :mod:`repro.machine.jit` (programs
+#: translated once into compiled Python segments).  All three produce
+#: bit-identical architectural results; they differ only in throughput.
+EXECUTION_MODES = ("timed", "fast", "jit")
+
+#: The fastest functional tier currently available — what ``mode="auto"``
+#: resolves to in HashCore and friends.  A future backend (e.g. a
+#: vectorised batch tier) only needs to update this constant.
+FASTEST_MODE = "jit"
+
+
+def resolve_mode(mode: str, exc: type[Exception] = ExecutionError) -> str:
+    """Resolve a PoW-level ``mode`` knob to a concrete execution tier.
+
+    ``"auto"`` selects :data:`FASTEST_MODE`; any explicit tier name passes
+    through unchanged.  ``exc`` lets callers keep their established error
+    type (``ValueError`` for HashCore, ``ConfigError`` for rotation).
+    """
+    if mode == "auto":
+        return FASTEST_MODE
+    if mode not in EXECUTION_MODES:
+        raise exc(
+            f"mode must be 'auto' or one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class Machine:
@@ -154,11 +177,11 @@ class Machine:
         additionally gathers the profiler's histograms (slower).
 
         ``mode`` overrides the machine's default execution engine for this
-        run: ``"fast"`` dispatches to the functional fast path (identical
-        architectural results, counters report only ``retired``);
-        ``"timed"`` runs the full timing model.  ``collect_detail`` always
-        implies the timing path — the detail histograms *are* timing
-        instrumentation.
+        run: ``"fast"`` dispatches to the functional fast path, ``"jit"``
+        to the tier-2 JIT (both: identical architectural results, counters
+        report only ``retired``); ``"timed"`` runs the full timing model.
+        ``collect_detail`` always implies the timing path — the detail
+        histograms *are* timing instrumentation.
 
         Raises :class:`ExecutionLimitExceeded` when ``max_instructions``
         retire without the program halting.
@@ -169,7 +192,19 @@ class Machine:
             raise ExecutionError(
                 f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
             )
-        if mode == "fast" and not collect_detail:
+        if mode != "timed" and not collect_detail:
+            if mode == "jit":
+                from repro.machine.jit import run_jit
+
+                return run_jit(
+                    self,
+                    program,
+                    memory,
+                    max_instructions=max_instructions,
+                    snapshot_interval=snapshot_interval,
+                    initial_iregs=initial_iregs,
+                    initial_fregs=initial_fregs,
+                )
             from repro.machine.fastpath import run_fast
 
             return run_fast(

@@ -74,8 +74,12 @@ class Memory:
         else:
             block = _splitmix64_block(seed, count)
         words, mask = self.words, self.mask
-        for offset, value in enumerate(block):
-            words[(start + offset) & mask] = value
+        start &= mask
+        if start + count <= self.size_words:
+            words[start : start + count] = block
+        else:
+            for offset, value in enumerate(block):
+                words[(start + offset) & mask] = value
 
     def fill_pointer_ring(self, seed: int, start: int, count: int) -> None:
         """Install a pointer-chasing ring over ``count`` slots from ``start``.
@@ -100,5 +104,9 @@ class Memory:
         """Set ``count`` words from ``start`` to a constant."""
         words, mask = self.words, self.mask
         value &= MASK64
-        for offset in range(count):
-            words[(start + offset) & mask] = value
+        start &= mask
+        if start + count <= self.size_words:
+            words[start : start + count] = [value] * count
+        else:
+            for offset in range(count):
+                words[(start + offset) & mask] = value

@@ -48,6 +48,7 @@ class WidgetPool:
         self.pool_tag = pool_tag
         self.generator = WidgetGenerator(profile, params)
         self.widgets: list["Widget"] = []
+        self._selections = 0
         for index in range(pool_size):
             member_seed = HashSeed(
                 hashlib.sha256(pool_tag + struct.pack("<I", index)).digest()
@@ -72,6 +73,7 @@ class WidgetPool:
             raise GenerationError(
                 f"count must be in [1, {len(self.widgets)}], got {count}"
             )
+        self._selections += 1
         state = int.from_bytes(seed.raw[:8], "little") ^ int.from_bytes(
             seed.raw[8:16], "little"
         )
@@ -89,6 +91,30 @@ class WidgetPool:
         for widget in self.widgets:
             acc.update(bytes.fromhex(widget.fingerprint()))
         return acc.hexdigest()
+
+    def cache_stats(self) -> dict:
+        """Selection count plus aggregated decode-tier counters over every
+        member program — how warm the pool's compiled caches are (the
+        quantity persistent mining workers preserve across chunks)."""
+        programs = {
+            "code_builds": 0, "code_hits": 0,
+            "fast_builds": 0, "fast_hits": 0,
+            "jit_builds": 0, "jit_hits": 0,
+        }
+        fast_ready = jit_ready = 0
+        for widget in self.widgets:
+            stats = widget.program.cache_stats()
+            for key in programs:
+                programs[key] += stats[key]
+            fast_ready += stats["fast_ready"]
+            jit_ready += stats["jit_ready"]
+        return {
+            "widgets": len(self.widgets),
+            "selections": self._selections,
+            "fast_ready": fast_ready,
+            "jit_ready": jit_ready,
+            "programs": programs,
+        }
 
 
 class SelectionHashCore:
@@ -109,15 +135,16 @@ class SelectionHashCore:
         machine: Machine | None = None,
         widgets_per_hash: int = 1,
         gate=None,
-        mode: str = "fast",
+        mode: str = "auto",
     ) -> None:
         from repro.core.hash_gate import HashGate
+        from repro.machine.cpu import resolve_mode
 
         self.pool = pool
         self.machine = machine or Machine()
         self.widgets_per_hash = widgets_per_hash
         self.gate = gate or HashGate()
-        self.mode = mode
+        self.mode = resolve_mode(mode, ValueError)
 
     def seed_of(self, data: bytes) -> HashSeed:
         return HashSeed(self.gate(data))
@@ -132,3 +159,8 @@ class SelectionHashCore:
     def verify(self, data: bytes, digest: bytes) -> bool:
         """Verification is recomputation, as for generated HashCore."""
         return self.hash(data) == digest
+
+    def cache_stats(self) -> dict:
+        """The underlying pool's cache statistics (see
+        :meth:`WidgetPool.cache_stats`)."""
+        return self.pool.cache_stats()

@@ -246,7 +246,7 @@ class TestModeKnob:
 
     def test_trace_defaults_to_timed_counters(self, test_params):
         core = HashCore(machine=_small_machine(), params=test_params)
-        assert core.mode == "fast"
+        assert core.mode == "jit"
         trace = core.hash_with_trace(b"trace-default")
         assert trace.result.counters.cycles > 0
         fast_trace = core.hash_with_trace(b"trace-default", mode="fast")

@@ -1,0 +1,264 @@
+"""Differential and behavioural tests for the tier-2 JIT.
+
+The JIT (:mod:`repro.machine.jit`) translates each widget program into
+specialized Python source — straight-line segment functions plus compiled
+loop regions — and must stay *bit-identical* to both the timed interpreter
+and the tier-1 fast path on everything architectural: output bytes,
+register files, memory words, snapshots, halting, retired counts, and the
+exception a runaway program raises.  Any divergence would fork consensus
+between JIT miners and everyone else, so the checks here are exhaustive:
+generated widgets (whose programs contain the nested-loop shapes the
+region compiler exists for), hypothesis-fuzzed straight-line programs,
+every machine preset, and the hand-built edge cases where a compiler is
+most likely to drift from an interpreter (HALT-vs-budget ordering,
+snapshot windows smaller than a loop body, initial register files).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hashcore import HashCore
+from repro.errors import ExecutionError, ExecutionLimitExceeded
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.machine.config import PRESETS, preset
+from repro.machine.cpu import EXECUTION_MODES, FASTEST_MODE, Machine, resolve_mode
+from repro.machine.jit import compile_jit, run_jit
+from repro.machine.memory import Memory
+
+from tests.conftest import seed_of
+from tests.test_differential import programs
+from tests.test_fastpath import (
+    _assert_same_architectural,
+    _loop_forever,
+    _run_widget,
+    _small_machine,
+    _SMALL_WORDS,
+)
+
+
+class TestWidgetDifferential:
+    """JIT vs timed path over generated widgets (the real workload)."""
+
+    def test_fifty_fuzzed_seeds_bit_identical(self, generator):
+        machine = _small_machine()
+        for i in range(50):
+            widget = generator.widget(seed_of(f"jit-{i}"))
+            timed, mem_t = _run_widget(widget, machine, mode="timed")
+            jit, mem_j = _run_widget(widget, machine, mode="jit")
+            _assert_same_architectural(
+                timed, jit, mem_ref=mem_t, mem_got=mem_j
+            )
+
+    def test_three_tiers_agree(self, generator):
+        machine = _small_machine()
+        for i in range(10):
+            widget = generator.widget(seed_of(f"jit-three-way-{i}"))
+            results = {
+                mode: _run_widget(widget, machine, mode=mode)
+                for mode in EXECUTION_MODES
+            }
+            timed, mem_t = results["timed"]
+            for mode in ("fast", "jit"):
+                got, mem_g = results[mode]
+                _assert_same_architectural(
+                    timed, got, mem_ref=mem_t, mem_got=mem_g
+                )
+
+    def test_all_presets_digest_parity(self, test_params):
+        data = b"jit preset parity"
+        for name in sorted(PRESETS):
+            jit_core = HashCore(
+                machine=preset(name), params=test_params, mode="jit"
+            )
+            timed_core = HashCore(
+                machine=preset(name), params=test_params, mode="timed"
+            )
+            assert jit_core.hash(data) == timed_core.hash(data), name
+
+
+class TestHypothesisDifferential:
+    """JIT vs timed agreement on hypothesis-fuzzed straight-line programs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs)
+    def test_jit_matches_timed(self, instructions):
+        program = Program(
+            instructions=instructions + [Instruction(int(Opcode.HALT))]
+        )
+        program.validate()
+        machine = _small_machine()
+
+        mem_timed = Memory(_SMALL_WORDS)
+        timed = machine.run(program, mem_timed, max_instructions=1000)
+        mem_jit = Memory(_SMALL_WORDS)
+        jit = run_jit(machine, program, mem_jit, max_instructions=1000)
+        _assert_same_architectural(
+            timed, jit, mem_ref=mem_timed, mem_got=mem_jit
+        )
+
+
+def _countdown_loop(iterations: int) -> Program:
+    """MOVI n; loop { SUBI-style decrement via LOOPNZ } ; HALT."""
+    return Program(instructions=[
+        Instruction(int(Opcode.MOVI), 0, 0, 0, iterations),
+        Instruction(int(Opcode.ADDI), 1, 1, 0, 3),
+        Instruction(int(Opcode.LOOPNZ), 0, 0, 0, 1),
+        Instruction(int(Opcode.HALT)),
+    ])
+
+
+class TestEdgeCaseParity:
+    """Corners where a compiler most plausibly diverges from the spec."""
+
+    def test_limit_exceeded_message_parity(self):
+        machine = _small_machine()
+        program = _loop_forever()
+        messages = set()
+        for mode in EXECUTION_MODES:
+            with pytest.raises(ExecutionLimitExceeded) as excinfo:
+                machine.run(program, max_instructions=100, mode=mode)
+            messages.add(str(excinfo.value))
+        assert len(messages) == 1  # identical across all three tiers
+
+    def test_halt_does_not_consume_budget(self):
+        machine = _small_machine()
+        program = Program(instructions=[
+            *[Instruction(int(Opcode.NOP)) for _ in range(5)],
+            Instruction(int(Opcode.HALT)),
+        ])
+        result = machine.run(program, max_instructions=6, mode="jit")
+        assert result.halted and result.counters.retired == 6
+        with pytest.raises(ExecutionLimitExceeded):
+            machine.run(program, max_instructions=5, mode="jit")
+
+    def test_loop_budget_exact_boundary(self):
+        # 100 iterations × 2 instructions + MOVI + HALT = 202 retirements.
+        # The region guard must hand back to the driver rather than overrun
+        # the budget, and the budget boundary must match the interpreter's.
+        machine = _small_machine()
+        program = _countdown_loop(100)
+        for budget in (202, 201):
+            outcomes = []
+            for mode in EXECUTION_MODES:
+                try:
+                    res = machine.run(
+                        program, max_instructions=budget, mode=mode
+                    )
+                    outcomes.append(("ok", res.counters.retired, res.halted))
+                except ExecutionLimitExceeded:
+                    outcomes.append(("limit",))
+            assert len(set(outcomes)) == 1, (budget, outcomes)
+        assert outcomes[0] == ("limit",)  # 201 must trip on every tier
+
+    def test_snapshot_interval_inside_loop_body(self):
+        # A snapshot window smaller than one loop iteration forces the JIT
+        # driver off its region fast path onto segments / single steps;
+        # snapshots must still land on exactly the same retirement counts.
+        machine = _small_machine()
+        program = _countdown_loop(40)
+        for interval in (1, 2, 3, 7):
+            timed = machine.run(
+                program, snapshot_interval=interval, mode="timed"
+            )
+            jit = machine.run(program, snapshot_interval=interval, mode="jit")
+            _assert_same_architectural(timed, jit)
+            assert jit.snapshots == timed.snapshots >= 2
+
+    def test_snapshot_boundary_parity(self):
+        machine = _small_machine()
+        program = Program(instructions=[
+            *[Instruction(int(Opcode.MOVI), i % 16, 0, 0, i) for i in range(10)],
+            Instruction(int(Opcode.HALT)),
+        ])
+        timed = machine.run(program, snapshot_interval=5, mode="timed")
+        jit = machine.run(program, snapshot_interval=5, mode="jit")
+        _assert_same_architectural(timed, jit)
+        assert jit.snapshots == timed.snapshots >= 2
+
+    def test_initial_register_parity(self):
+        machine = _small_machine()
+        program = Program(instructions=[
+            Instruction(int(Opcode.ADD), 0, 1, 2),
+            Instruction(int(Opcode.FADD), 0, 1, 2),
+            Instruction(int(Opcode.HALT)),
+        ])
+        iregs = [(1 << 64) + i for i in range(16)]  # over-wide: must mask
+        fregs = [0.5 * i for i in range(16)]
+        timed = machine.run(
+            program, initial_iregs=iregs, initial_fregs=fregs, mode="timed"
+        )
+        jit = machine.run(
+            program, initial_iregs=iregs, initial_fregs=fregs, mode="jit"
+        )
+        _assert_same_architectural(timed, jit)
+
+    def test_bad_arguments_rejected(self):
+        machine = _small_machine()
+        program = Program(instructions=[Instruction(int(Opcode.HALT))])
+        with pytest.raises(ExecutionError):
+            run_jit(machine, program, initial_iregs=[0] * 3)
+        with pytest.raises(ExecutionError):
+            run_jit(machine, program, initial_fregs=[0.0] * 3)
+        with pytest.raises(ExecutionError):
+            run_jit(machine, program, max_instructions=0)
+
+
+class TestModeResolution:
+    """'auto' resolves to the fastest tier everywhere it is accepted."""
+
+    def test_resolve_mode(self):
+        assert FASTEST_MODE == "jit"
+        assert resolve_mode("auto", ExecutionError) == "jit"
+        for mode in EXECUTION_MODES:
+            assert resolve_mode(mode, ExecutionError) == mode
+        with pytest.raises(ExecutionError):
+            resolve_mode("warp", ExecutionError)
+
+    def test_hashcore_defaults_to_jit(self, test_params):
+        core = HashCore(machine=_small_machine(), params=test_params)
+        assert core.mode == "jit"
+        explicit = HashCore(
+            machine=_small_machine(), params=test_params, mode="auto"
+        )
+        assert explicit.mode == "jit"
+
+    def test_machine_accepts_jit_mode(self):
+        machine = _small_machine("jit")
+        program = _countdown_loop(10)
+        result = machine.run(program)
+        assert result.halted
+        assert result.counters.cycles == 0  # no timing model ran
+
+
+class TestCompilation:
+    """The compiled artifact itself: caching, invalidation, region shape."""
+
+    def test_jit_code_cached_and_invalidated(self):
+        program = Program(instructions=[
+            Instruction(int(Opcode.MOVI), 0, 0, 0, 3),
+            Instruction(int(Opcode.HALT)),
+        ])
+        code = program.jit_code()
+        assert program.jit_code() is code  # cached
+        program.instructions.append(Instruction(int(Opcode.HALT)))
+        program.invalidate_code()
+        rebuilt = program.jit_code()
+        assert rebuilt is not code and rebuilt.length == 3
+
+    def test_loop_compiles_to_region(self):
+        code = compile_jit(_countdown_loop(5))
+        regions = [r for r in code.regions if r is not None]
+        assert regions, "backward LOOPNZ should produce a compiled region"
+        assert "while True:" in code.source
+
+    def test_straight_line_has_no_regions(self):
+        program = Program(instructions=[
+            Instruction(int(Opcode.MOVI), 0, 0, 0, 1),
+            Instruction(int(Opcode.HALT)),
+        ])
+        code = compile_jit(program)
+        assert all(r is None for r in code.regions)
