@@ -12,7 +12,7 @@ import struct
 from dataclasses import dataclass, replace
 
 from repro.blockchain.merkle import merkle_root
-from repro.errors import ChainError
+from repro.errors import ChainError, ValidationError
 
 GENESIS_PREV_HASH = bytes(32)
 
@@ -100,10 +100,12 @@ class Block:
         two different bodies validate against one header.
         """
         if len(set(self.transactions)) != len(self.transactions):
-            raise ChainError("duplicate transactions in block")
+            raise ValidationError("duplicate-tx", "duplicate transactions in block")
         expected = merkle_root(list(self.transactions))
         if expected != self.header.merkle_root:
-            raise ChainError("merkle root does not commit to transactions")
+            raise ValidationError(
+                "bad-merkle", "merkle root does not commit to transactions"
+            )
 
     def with_nonce(self, nonce: int) -> "Block":
         return Block(header=self.header.with_nonce(nonce), transactions=self.transactions)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.blockchain.block import GENESIS_PREV_HASH, Block
 from repro.blockchain.difficulty import RetargetSchedule, next_compact_target
 from repro.core.pow import PowFunction, compact_to_target, meets_target, target_to_difficulty
-from repro.errors import ChainError
+from repro.errors import ChainError, ValidationError
 
 
 def block_id(block: Block) -> bytes:
@@ -88,8 +88,15 @@ class Blockchain:
     def height_of(self, bid: bytes) -> int:
         return self._entries[bid].height
 
+    def work_of(self, bid: bytes) -> float:
+        """Accumulated work at a known block (raises ``KeyError`` if absent)."""
+        return self._entries[bid].total_work
+
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, bid: bytes) -> bool:
+        return bid in self._entries
 
     def main_chain(self) -> list[Block]:
         """Blocks from genesis to tip, inclusive."""
@@ -133,19 +140,20 @@ class Blockchain:
         header = block.header
         parent = self._entries.get(header.prev_hash)
         if parent is None:
-            raise ChainError("unknown parent block")
+            raise ValidationError("unknown-parent", "unknown parent block")
         if header.timestamp < parent.block.header.timestamp:
-            raise ChainError("timestamp precedes parent")
+            raise ValidationError("bad-timestamp", "timestamp precedes parent")
         expected = self.expected_bits(header.prev_hash)
         if header.bits != expected:
-            raise ChainError(
-                f"wrong difficulty bits {header.bits:#x}, expected {expected:#x}"
+            raise ValidationError(
+                "bad-bits",
+                f"wrong difficulty bits {header.bits:#x}, expected {expected:#x}",
             )
         block.validate_merkle()
         target = compact_to_target(header.bits)
         digest = self.pow_fn.hash(header.serialize())
         if not meets_target(digest, target):
-            raise ChainError("proof of work does not meet target")
+            raise ValidationError("bad-pow", "proof of work does not meet target")
         work = target_to_difficulty(target)
         return _Entry(
             block=block,
@@ -163,7 +171,7 @@ class Blockchain:
         entry = self.validate_block(block)
         bid = block_id(block)
         if bid in self._entries:
-            raise ChainError("duplicate block")
+            raise ValidationError("duplicate-block", "duplicate block")
         self._arrivals += 1
         entry.arrival = self._arrivals
         self._entries[bid] = entry

@@ -1,0 +1,308 @@
+"""Fault model for the chaos-test harness: scenario schedules as data.
+
+The paper's decentralization argument (§VI) assumes HashCore sits inside a
+PoW network that behaves like a real one — lossy links, partitions, node
+crashes, adversarial peers.  This module describes those faults as plain,
+JSON-serializable data so a chaos run is *replayable*: a
+:class:`Scenario` plus its single seed fully determines every drop,
+duplicate, jitter roll, partition, crash and forged block, and therefore
+the byte-identical :class:`~repro.blockchain.sim.ChaosReport`.
+
+Nothing here executes; :mod:`repro.blockchain.sim` interprets these
+schedules over the gossip :class:`~repro.blockchain.node.Node` layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.errors import ChainError
+from repro.rng import Xoshiro256, splitmix64
+
+#: Forgery kinds a byzantine peer can produce.
+BYZANTINE_KINDS = ("bad-pow", "bad-merkle", "bad-bits", "bad-timestamp")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Per-link delivery faults, applied independently to every message."""
+
+    #: Base delivery delay in ticks.
+    delay: int = 1
+    #: Extra delay drawn uniformly from ``[0, jitter]`` per delivery —
+    #: nonzero jitter reorders messages between the same pair of nodes.
+    jitter: int = 0
+    #: Probability a message is silently lost.
+    drop: float = 0.0
+    #: Probability a message is delivered twice (second copy re-jittered).
+    duplicate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 1 or self.jitter < 0:
+            raise ChainError("delay must be >= 1 and jitter >= 0")
+        if not 0.0 <= self.drop <= 0.9:
+            raise ChainError("drop probability must be in [0, 0.9]")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ChainError("duplicate probability must be in [0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """Network split: nodes in different groups cannot exchange messages
+    while ``start <= tick < end`` (messages in flight across the cut are
+    lost at delivery time).  Heals at ``end``."""
+
+    start: int
+    end: int
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ChainError("partition needs 0 <= start < end")
+        if len(self.groups) < 2:
+            raise ChainError("partition needs at least two groups")
+        members = [n for group in self.groups for n in group]
+        if len(members) != len(set(members)):
+            raise ChainError("partition groups must be disjoint")
+
+    def severed(self, a: int, b: int, tick: int) -> bool:
+        if not self.start <= tick < self.end:
+            return False
+        group_a = group_b = None
+        for i, group in enumerate(self.groups):
+            if a in group:
+                group_a = i
+            if b in group:
+                group_b = i
+        return group_a is not None and group_b is not None and group_a != group_b
+
+
+@dataclass(frozen=True, slots=True)
+class Crash:
+    """Node ``node`` crashes at tick ``at`` (losing its in-memory orphan
+    buffer, keeping its on-disk chain) and restarts at ``restart_at``.
+    ``restart_at`` past the scenario end means it never comes back."""
+
+    node: int
+    at: int
+    restart_at: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.at < self.restart_at:
+            raise ChainError("crash needs 0 < at < restart_at")
+
+
+@dataclass(frozen=True, slots=True)
+class ByzantinePeer:
+    """An adversarial peer (outside the honest node set) that periodically
+    forges invalid blocks on top of honest tips and broadcasts them.
+    Byzantine traffic rides the faulty links but ignores partitions (a
+    worst-case adversary is assumed well connected)."""
+
+    #: Forge one block every ``every`` ticks.
+    every: int = 7
+    #: Forgery kinds to rotate through (seeded choice per injection).
+    kinds: tuple[str, ...] = BYZANTINE_KINDS
+    #: Active window; ``until`` of ``None`` means the whole run.
+    start: int = 1
+    until: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ChainError("byzantine 'every' must be >= 1")
+        bad = set(self.kinds) - set(BYZANTINE_KINDS)
+        if bad or not self.kinds:
+            raise ChainError(f"unknown byzantine kinds: {sorted(bad)}")
+        if self.until is not None and self.until <= self.start:
+            raise ChainError("byzantine window needs until > start")
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A complete, replayable chaos schedule.
+
+    The runner mines honest blocks (Poisson-ish: one seeded Bernoulli roll
+    per tick) until ``mine_until``, then runs the remaining quiet ticks so
+    the convergence invariant — all honest live nodes on one tip — can be
+    asserted at the end.  Construction validates that the schedule leaves
+    at least ``convergence_ticks`` of quiet time after the last fault
+    heals.
+    """
+
+    n_nodes: int = 4
+    seed: int = 1
+    ticks: int = 200
+    link: LinkFaults = field(default_factory=LinkFaults)
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+    byzantine: tuple[ByzantinePeer, ...] = ()
+    #: Relative mining power per node; ``None`` means uniform.
+    hashrates: tuple[float, ...] | None = None
+    #: Per-tick probability that one honest block is mined.
+    mine_prob: float = 0.25
+    #: Last tick at which honest mining may occur; ``None`` derives
+    #: ``ticks - convergence_ticks``.
+    mine_until: int | None = None
+    #: Quiet ticks required after the last fault heals (and mining stops)
+    #: for honest nodes to converge.
+    convergence_ticks: int = 80
+    #: PoW difficulty of the genesis target (kept low: chaos runs mine
+    #: thousands of real SHA-256d blocks).
+    difficulty: float = 8.0
+    block_time: int = 30
+    retarget_interval: int = 10_000
+    max_orphans: int = 128
+    #: Every node announces its tip to one seeded peer every N ticks —
+    #: the recovery signal that drives crash/partition resync.
+    announce_every: int = 8
+    #: Parent re-request budget and linear backoff step (the Nth retry
+    #: waits ``N * request_backoff`` ticks).
+    request_retries: int = 6
+    request_backoff: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ChainError("chaos scenarios need >= 2 honest nodes")
+        if not 0.0 <= self.mine_prob <= 1.0:
+            raise ChainError("mine_prob must be in [0, 1]")
+        if self.hashrates is not None and (
+            len(self.hashrates) != self.n_nodes
+            or min(self.hashrates) < 0
+            or sum(self.hashrates) <= 0
+        ):
+            raise ChainError("hashrates must be n_nodes non-negative values "
+                             "with positive total")
+        for crash in self.crashes:
+            if crash.node >= self.n_nodes:
+                raise ChainError("crash.node out of range")
+        for partition in self.partitions:
+            for group in partition.groups:
+                for member in group:
+                    if member >= self.n_nodes:
+                        raise ChainError("partition member out of range")
+        if self.effective_mine_until() + self.convergence_ticks > self.ticks:
+            raise ChainError(
+                "schedule leaves no convergence window: need ticks >= "
+                f"{self.effective_mine_until() + self.convergence_ticks}"
+            )
+
+    # ------------------------------------------------------------------
+    def heal_tick(self) -> int:
+        """Tick by which every healing fault has healed (partitions ended,
+        restarting crashes restarted).  Crashes that never restart within
+        the run do not count — a permanently dead node is simply excluded
+        from the convergence invariant."""
+        heal = 0
+        for partition in self.partitions:
+            heal = max(heal, partition.end)
+        for crash in self.crashes:
+            if crash.restart_at <= self.ticks:
+                heal = max(heal, crash.restart_at)
+        return heal
+
+    def effective_mine_until(self) -> int:
+        if self.mine_until is not None:
+            return max(self.mine_until, self.heal_tick())
+        return max(self.heal_tick(), self.ticks - self.convergence_ticks)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (schedules are data)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["link"] = asdict(self.link)
+        data["partitions"] = [
+            {"start": p.start, "end": p.end, "groups": [list(g) for g in p.groups]}
+            for p in self.partitions
+        ]
+        data["crashes"] = [asdict(c) for c in self.crashes]
+        data["byzantine"] = [
+            {"every": b.every, "kinds": list(b.kinds), "start": b.start,
+             "until": b.until}
+            for b in self.byzantine
+        ]
+        data["hashrates"] = list(self.hashrates) if self.hashrates else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        kwargs = dict(data)
+        kwargs["link"] = LinkFaults(**kwargs.get("link", {}))
+        kwargs["partitions"] = tuple(
+            Partition(start=p["start"], end=p["end"],
+                      groups=tuple(tuple(g) for g in p["groups"]))
+            for p in kwargs.get("partitions", ())
+        )
+        kwargs["crashes"] = tuple(
+            Crash(**c) for c in kwargs.get("crashes", ())
+        )
+        kwargs["byzantine"] = tuple(
+            ByzantinePeer(every=b.get("every", 7),
+                          kinds=tuple(b.get("kinds", BYZANTINE_KINDS)),
+                          start=b.get("start", 1), until=b.get("until"))
+            for b in kwargs.get("byzantine", ())
+        )
+        if kwargs.get("hashrates") is not None:
+            kwargs["hashrates"] = tuple(kwargs["hashrates"])
+        return cls(**kwargs)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return replace(self, seed=seed)
+
+
+def random_scenario(seed: int) -> Scenario:
+    """Fuzz a bounded random scenario from one seed (soak-suite driver).
+
+    Every structural choice comes from a :class:`Xoshiro256` stream, so a
+    given seed always yields the same schedule; the scenario itself embeds
+    the same seed for its runtime randomness.
+    """
+    rng = Xoshiro256(splitmix64(seed ^ 0xC4A05))
+    n_nodes = rng.randint(3, 6)
+    link = LinkFaults(
+        delay=rng.randint(1, 2),
+        jitter=rng.randint(0, 3),
+        drop=rng.randint(0, 20) / 100.0,
+        duplicate=rng.randint(0, 15) / 100.0,
+    )
+    partitions: tuple[Partition, ...] = ()
+    if rng.random() < 0.5:
+        start = rng.randint(15, 40)
+        cut = rng.randint(1, n_nodes - 1)
+        indices = list(range(n_nodes))
+        rng.shuffle(indices)
+        partitions = (
+            Partition(
+                start=start,
+                end=start + rng.randint(20, 40),
+                groups=(tuple(sorted(indices[:cut])),
+                        tuple(sorted(indices[cut:]))),
+            ),
+        )
+    crashes: tuple[Crash, ...] = ()
+    if rng.random() < 0.4:
+        at = rng.randint(15, 50)
+        crashes = (
+            Crash(node=rng.randint(0, n_nodes - 1), at=at,
+                  restart_at=at + rng.randint(10, 40)),
+        )
+    byzantine: tuple[ByzantinePeer, ...] = ()
+    if rng.random() < 0.5:
+        byzantine = (ByzantinePeer(every=rng.randint(5, 9)),)
+    heal = max(
+        [p.end for p in partitions] + [c.restart_at for c in crashes] + [0]
+    )
+    mine_until = max(heal, 60)
+    return Scenario(
+        n_nodes=n_nodes,
+        seed=seed,
+        ticks=mine_until + 96,
+        link=link,
+        partitions=partitions,
+        crashes=crashes,
+        byzantine=byzantine,
+        mine_prob=rng.randint(20, 35) / 100.0,
+        mine_until=mine_until,
+        convergence_ticks=96,
+        retarget_interval=16 if rng.random() < 0.3 else 10_000,
+    )

@@ -3,26 +3,56 @@
 A small deterministic P2P harness over the validating
 :class:`~repro.blockchain.chain.Blockchain`: each node holds its own chain
 replica, mined blocks gossip to peers with a configurable tick delay, and
-out-of-order arrivals park in an orphan buffer until their parent shows
-up.  It exists to exercise the consensus machinery the way a real
+out-of-order arrivals park in a bounded orphan buffer until their parent
+shows up.  It exists to exercise the consensus machinery the way a real
 deployment would — concurrent mining, temporary forks, and work-based
 reorgs — which the single-chain unit tests cannot.
+
+The fault-injection chaos layer (:mod:`repro.blockchain.sim`) builds on
+these same :class:`Node` objects, so everything a node records here —
+rejection reasons, orphan evictions, crash counts — feeds directly into
+chaos reports.
 """
 
 from __future__ import annotations
 
+from collections import Counter, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.blockchain.block import Block
 from repro.blockchain.chain import Blockchain, block_id
 from repro.blockchain.difficulty import RetargetSchedule
 from repro.blockchain.miner import mine_block
 from repro.core.pow import PowFunction
-from repro.errors import ChainError
+from repro.errors import ChainError, ValidationError
+
+#: Default orphan-buffer capacity.  Bounded so a peer spamming unconnectable
+#: blocks (a trivial memory DoS) evicts old orphans instead of growing RAM.
+DEFAULT_MAX_ORPHANS = 512
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiveResult:
+    """Outcome of :meth:`Node.receive`, truthy iff the block entered the chain.
+
+    ``status`` is one of ``accepted``, ``orphaned``, ``rejected`` or
+    ``offline``; for rejections ``code`` carries the
+    :class:`~repro.errors.ValidationError` slug (``bad-pow``,
+    ``bad-merkle``, …) so callers can tell *why* consensus refused the
+    block.
+    """
+
+    accepted: bool
+    status: str
+    code: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.accepted
 
 
 class Node:
-    """One network participant: a chain replica plus an orphan buffer."""
+    """One network participant: a chain replica plus a bounded orphan buffer."""
 
     def __init__(
         self,
@@ -30,54 +60,159 @@ class Node:
         pow_fn: PowFunction,
         schedule: RetargetSchedule | None = None,
         genesis_bits: int = 0x207FFFFF,
+        max_orphans: int = DEFAULT_MAX_ORPHANS,
     ) -> None:
+        if max_orphans < 1:
+            raise ChainError("max_orphans must be >= 1")
         self.name = name
         self.chain = Blockchain(pow_fn, schedule=schedule, genesis_bits=genesis_bits)
+        self.max_orphans = max_orphans
         self._orphans: dict[bytes, list[Block]] = {}  # parent id -> children
+        self._orphan_fifo: deque[tuple[bytes, Block]] = deque()
+        self._orphan_ids: set[bytes] = set()
+        self._orphan_total = 0
         #: Number of times the tip switched to a block that does not extend
         #: the previous tip (observable reorgs).
         self.reorgs = 0
+        #: Blocks that entered the chain (including drained orphans).
+        self.accepted = 0
+        #: Orphans discarded because the buffer was full (FIFO eviction).
+        self.orphans_evicted = 0
+        #: Rejection counts keyed by :class:`ValidationError` code.
+        self.rejections: Counter[str] = Counter()
+        #: False while the node is crashed; a crashed node drops all traffic.
+        self.alive = True
+        self.crashes = 0
 
     def tip_id(self) -> bytes:
         return self.chain.tip_id
 
-    def receive(self, block: Block) -> bool:
-        """Accept a gossiped block; returns True when it (eventually)
-        entered the chain.  Unknown-parent blocks are buffered."""
+    # ------------------------------------------------------------------
+    # block intake
+    # ------------------------------------------------------------------
+    def receive(self, block: Block) -> ReceiveResult:
+        """Accept a gossiped block; truthy when it (eventually) entered the
+        chain.  Unknown-parent blocks are buffered (bounded, FIFO-evicted)."""
+        if not self.alive:
+            return ReceiveResult(False, "offline")
         parent = block.header.prev_hash
-        try:
-            self.chain.get(parent)
-        except ChainError:
-            self._orphans.setdefault(parent, []).append(block)
-            return False
-        accepted = self._add(block)
-        if accepted:
+        if parent not in self.chain:
+            bucket = self._orphans.setdefault(parent, [])
+            if block in bucket:
+                return ReceiveResult(False, "orphaned", "already-buffered")
+            bucket.append(block)
+            self._orphan_fifo.append((parent, block))
+            self._orphan_ids.add(block_id(block))
+            self._orphan_total += 1
+            self._evict_orphans()
+            return ReceiveResult(False, "orphaned", "unknown-parent")
+        code = self._add(block)
+        if code is None:
             self._drain_orphans(block_id(block))
-        return accepted
+            return ReceiveResult(True, "accepted")
+        return ReceiveResult(False, "rejected", code)
 
-    def _add(self, block: Block) -> bool:
+    def _add(self, block: Block) -> str | None:
+        """Try to append ``block``; returns ``None`` on success or the
+        rejection code."""
         old_tip = self.chain.tip_id
         try:
             bid = self.chain.add_block(block)
+        except ValidationError as exc:
+            self.rejections[exc.code] += 1
+            return exc.code
         except ChainError:
-            return False
+            self.rejections["invalid"] += 1
+            return "invalid"
+        self.accepted += 1
         if self.chain.tip_id == bid and block.header.prev_hash != old_tip:
             self.reorgs += 1
-        return True
+        return None
 
     def _drain_orphans(self, parent_id: bytes) -> None:
-        pending = self._orphans.pop(parent_id, [])
-        for child in pending:
-            if self._add(child):
-                self._drain_orphans(block_id(child))
+        """Connect buffered descendants of ``parent_id``.
 
+        Iterative worklist rather than recursion: a long-buffered orphan
+        chain (thousands of blocks) must not hit the interpreter's
+        recursion limit.
+        """
+        worklist = deque([parent_id])
+        while worklist:
+            pid = worklist.popleft()
+            for child in self._orphans.pop(pid, []):
+                cid = block_id(child)
+                self._orphan_total -= 1
+                self._orphan_ids.discard(cid)
+                if self._add(child) is None:
+                    worklist.append(cid)
+
+    def _evict_orphans(self) -> None:
+        while self._orphan_total > self.max_orphans and self._orphan_fifo:
+            parent, block = self._orphan_fifo.popleft()
+            bucket = self._orphans.get(parent)
+            if bucket is None or block not in bucket:
+                continue  # stale FIFO entry: already drained
+            bucket.remove(block)
+            if not bucket:
+                del self._orphans[parent]
+            self._orphan_ids.discard(block_id(block))
+            self._orphan_total -= 1
+            self.orphans_evicted += 1
+
+    # ------------------------------------------------------------------
+    # crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node offline.  The chain survives (it is 'on disk');
+        the orphan buffer — in-memory state — is lost."""
+        self.alive = False
+        self.crashes += 1
+        self._orphans.clear()
+        self._orphan_fifo.clear()
+        self._orphan_ids.clear()
+        self._orphan_total = 0
+
+    def restart(self) -> None:
+        """Bring a crashed node back; it resyncs via normal gossip plus the
+        chaos layer's parent-request protocol."""
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     def orphan_count(self) -> int:
-        return sum(len(children) for children in self._orphans.values())
+        return self._orphan_total
+
+    def knows(self, bid: bytes) -> bool:
+        """True when ``bid`` is in the chain or already orphan-buffered —
+        i.e. re-requesting it from a peer would be wasted bandwidth."""
+        return bid in self.chain or bid in self._orphan_ids
+
+    def missing_parents(self) -> list[bytes]:
+        """Parent ids the orphan buffer is waiting on (resync targets)."""
+        return [p for p in self._orphans if p not in self.chain]
+
+    def stats(self) -> dict:
+        """Structured per-node counters (chaos reports, debugging)."""
+        return {
+            "name": self.name,
+            "alive": self.alive,
+            "height": self.chain.height(),
+            "tip": self.chain.tip_id.hex()[:16],
+            "total_work": self.chain.total_work(),
+            "reorgs": self.reorgs,
+            "accepted": self.accepted,
+            "orphans": self._orphan_total,
+            "orphans_evicted": self.orphans_evicted,
+            "rejections": dict(sorted(self.rejections.items())),
+            "crashes": self.crashes,
+        }
 
 
 @dataclass(slots=True)
 class _InFlight:
     deliver_at: int
+    origin: int
     target: int
     block: Block
 
@@ -88,6 +223,10 @@ class P2PNetwork:
 
     nodes: list[Node]
     delay: int = 1
+    #: Optional observer called as ``(tick, origin, target, block, result)``
+    #: for every delivery — golden-vector tests pin gossip determinism
+    #: through it.
+    on_deliver: Callable[[int, int, int, Block, ReceiveResult], None] | None = None
     _queue: list[_InFlight] = field(default_factory=list)
     _tick: int = 0
 
@@ -139,10 +278,13 @@ class P2PNetwork:
         """Queue delivery of ``block`` to every other node."""
         for target in range(len(self.nodes)):
             if target != origin:
-                self._queue.append(
-                    _InFlight(deliver_at=self._tick + self.delay, target=target,
-                              block=block)
-                )
+                self._schedule(origin, target, block)
+
+    def _schedule(self, origin: int, target: int, block: Block) -> None:
+        self._queue.append(
+            _InFlight(deliver_at=self._tick + self.delay, origin=origin,
+                      target=target, block=block)
+        )
 
     def tick(self, count: int = 1) -> None:
         """Advance time, delivering due messages in deterministic order."""
@@ -151,7 +293,12 @@ class P2PNetwork:
             due = [m for m in self._queue if m.deliver_at <= self._tick]
             self._queue = [m for m in self._queue if m.deliver_at > self._tick]
             for message in due:
-                self.nodes[message.target].receive(message.block)
+                result = self.nodes[message.target].receive(message.block)
+                if self.on_deliver is not None:
+                    self.on_deliver(
+                        self._tick, message.origin, message.target,
+                        message.block, result,
+                    )
 
     def settle(self) -> None:
         """Deliver everything in flight."""

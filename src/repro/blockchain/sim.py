@@ -1,0 +1,588 @@
+"""Chaos-test harness: fault-injected gossip, invariants, replayable reports.
+
+This is the execution half of the fault model in
+:mod:`repro.blockchain.faults`.  A :class:`ChaosNetwork` runs real
+:class:`~repro.blockchain.node.Node` replicas (full consensus validation)
+under seeded link faults (drop / duplicate / latency jitter), scheduled
+partitions, node crash/restart, and byzantine peers that forge invalid
+blocks.  Recovery uses a batched backward block sync: a node that sees an
+unknown tip (via gossip or periodic tip announcements) requests the
+missing parent from a peer, which answers with the block plus a batch of
+its ancestors; retries are capped, with linear backoff.
+
+:class:`ChaosRunner` drives a :class:`~repro.blockchain.faults.Scenario`
+tick by tick, checks invariants every tick —
+
+1. no forged/invalid block ever enters any node's chain,
+2. every node's tip cumulative work is monotone non-decreasing,
+3. the orphan buffer never exceeds its cap,
+
+— plus the end-of-run convergence invariant (all live honest nodes share
+one tip after the quiet window), and emits a :class:`ChaosReport` whose
+JSON rendering is byte-identical when the same scenario + seed is
+replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+
+from repro.baselines.sha256d import Sha256d
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain, block_id
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.faults import Scenario
+from repro.blockchain.miner import mine_block
+from repro.blockchain.node import Node
+from repro.core.pow import (
+    MAX_TARGET,
+    PowFunction,
+    compact_to_target,
+    difficulty_to_target,
+    meets_target,
+    target_to_compact,
+)
+from repro.errors import PowError
+from repro.rng import Xoshiro256, splitmix64
+
+#: Ancestors a peer sends along with a requested block (batched backward
+#: sync — one round trip heals several blocks of lag).
+SYNC_BATCH = 8
+
+#: Nonce budget when forging/mining a chaos block, per unit of difficulty.
+_ATTEMPTS_PER_DIFFICULTY = 64
+
+
+def _stream(seed: int, salt: int) -> Xoshiro256:
+    """Independent deterministic RNG stream for one chaos subsystem."""
+    return Xoshiro256(splitmix64((seed & (2**64 - 1)) ^ salt))
+
+
+@dataclass(slots=True)
+class _Msg:
+    deliver_at: int
+    seq: int
+    origin: int
+    target: int
+    kind: str  # "block" | "get" | "inv"
+    block: Block | None = None
+    ref: bytes | None = None
+
+
+@dataclass(slots=True)
+class _Request:
+    attempts: int
+    next_retry: int
+    source: int
+
+
+class ChaosNetwork:
+    """Gossip fabric with seeded fault injection and resync.
+
+    Message kinds: ``block`` (gossip/sync payload), ``inv`` (periodic tip
+    announcement), ``get`` (request for a block by id, answered with the
+    block plus up to :data:`SYNC_BATCH` ancestors).  All three ride the
+    same faulty links.  Byzantine origins (index >= ``n_nodes``) bypass
+    partitions — the adversary is assumed well connected.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        pow_fn: PowFunction,
+        node_factory=None,
+    ) -> None:
+        factory = node_factory or Node
+        self.scenario = scenario
+        self.genesis_bits = target_to_compact(
+            difficulty_to_target(scenario.difficulty)
+        )
+        schedule = RetargetSchedule(
+            block_time=float(scenario.block_time),
+            interval=scenario.retarget_interval,
+        )
+        self.nodes: list[Node] = [
+            factory(
+                f"node{i}",
+                pow_fn,
+                schedule=schedule,
+                genesis_bits=self.genesis_bits,
+                max_orphans=scenario.max_orphans,
+            )
+            for i in range(scenario.n_nodes)
+        ]
+        self.counters: Counter[str] = Counter()
+        self._queue: list[_Msg] = []
+        self._requests: dict[tuple[int, bytes], _Request] = {}
+        self._given_up: set[tuple[int, bytes]] = set()
+        self._seq = 0
+        self._tick = 0
+        self._link_rng = _stream(scenario.seed, 0x11AC)
+        self._peer_rng = _stream(scenario.seed, 0x4EEF)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def _severed(self, a: int, b: int, tick: int) -> bool:
+        return any(p.severed(a, b, tick) for p in self.scenario.partitions)
+
+    def _post(
+        self,
+        origin: int,
+        target: int,
+        kind: str,
+        block: Block | None = None,
+        ref: bytes | None = None,
+    ) -> None:
+        link = self.scenario.link
+        self.counters["sent"] += 1
+        if self._severed(origin, target, self._tick):
+            self.counters["cut_at_send"] += 1
+            return
+        if link.drop > 0.0 and self._link_rng.random() < link.drop:
+            self.counters["dropped"] += 1
+            return
+        copies = 1
+        if link.duplicate > 0.0 and self._link_rng.random() < link.duplicate:
+            copies = 2
+            self.counters["duplicated"] += 1
+        for _ in range(copies):
+            delay = link.delay
+            if link.jitter > 0:
+                delay += self._link_rng.randint(0, link.jitter)
+            self._seq += 1
+            self._queue.append(
+                _Msg(deliver_at=self._tick + delay, seq=self._seq,
+                     origin=origin, target=target, kind=kind,
+                     block=block, ref=ref)
+            )
+
+    def broadcast_from(self, origin: int, block: Block) -> None:
+        """Gossip an honest node's freshly mined block to all peers."""
+        for target in range(len(self.nodes)):
+            if target != origin:
+                self._post(origin, target, "block", block=block)
+
+    def inject(self, byz_origin: int, block: Block) -> None:
+        """Byzantine broadcast of a forged block to every honest node."""
+        for target in range(len(self.nodes)):
+            self._post(byz_origin, target, "block", block=block)
+
+    def crash_node(self, index: int) -> None:
+        self.nodes[index].crash()
+
+    # ------------------------------------------------------------------
+    # per-tick phases
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Deliver due messages, announce tips, drive resync — one tick."""
+        self._tick += 1
+        due = [m for m in self._queue if m.deliver_at <= self._tick]
+        self._queue = [m for m in self._queue if m.deliver_at > self._tick]
+        due.sort(key=lambda m: (m.deliver_at, m.seq))
+        for message in due:
+            self._deliver(message)
+        if self._tick % self.scenario.announce_every == 0:
+            self._announce()
+        self._resync()
+
+    def _deliver(self, msg: _Msg) -> None:
+        if self._severed(msg.origin, msg.target, self._tick):
+            self.counters["cut_in_flight"] += 1
+            return
+        node = self.nodes[msg.target]
+        if not node.alive:
+            self.counters["dropped_offline"] += 1
+            return
+        if msg.kind == "block":
+            self.counters["delivered"] += 1
+            result = node.receive(msg.block)
+            if result.status == "orphaned" and result.code == "unknown-parent":
+                self._want(msg.target, msg.block.header.prev_hash, msg.origin)
+            elif result.status == "rejected":
+                self.counters["rejected_deliveries"] += 1
+        elif msg.kind == "inv":
+            self.counters["inv_delivered"] += 1
+            if not node.knows(msg.ref):
+                self._want(msg.target, msg.ref, msg.origin)
+            elif (
+                msg.ref in node.chain
+                and self._honest_peer(msg.origin, msg.target)
+                and node.chain.work_of(msg.ref) < node.chain.total_work()
+            ):
+                # The announcer's tip is a known, strictly lighter block:
+                # answer with our heavier tip so laggards hear about newer
+                # work from their *own* announcements too (bidirectional
+                # tip gossip — no ping-pong once both sides agree).
+                self.counters["inv_replies"] += 1
+                self._post(msg.target, msg.origin, "inv", ref=node.tip_id())
+        elif msg.kind == "get":
+            self.counters["get_delivered"] += 1
+            self._serve(msg.target, msg.origin, msg.ref)
+
+    def _serve(self, server: int, requester: int, wanted: bytes) -> None:
+        """Answer a block request with the block plus a batch of ancestors."""
+        chain = self.nodes[server].chain
+        if wanted not in chain:
+            self.counters["get_unserved"] += 1
+            return
+        self.counters["resp_sent"] += 1
+        cursor = wanted
+        for _ in range(1 + SYNC_BATCH):
+            block = chain.get(cursor)
+            if chain.height_of(cursor) == 0:
+                break  # everyone has genesis
+            self._post(server, requester, "block", block=block)
+            cursor = block.header.prev_hash
+
+    def _announce(self) -> None:
+        # Each announce round also re-arms given-up requests: periodic tip
+        # gossip is the standing recovery signal, so retry caps bound each
+        # burst rather than permanently abandoning a hole.
+        self._given_up.clear()
+        for i, node in enumerate(self.nodes):
+            if not node.alive:
+                continue
+            self.counters["inv_sent"] += 1
+            self._post(i, self._random_peer(i), "inv", ref=node.tip_id())
+
+    def _want(self, node_index: int, wanted: bytes, source: int) -> None:
+        key = (node_index, wanted)
+        if key in self._requests or key in self._given_up:
+            return
+        if self.nodes[node_index].knows(wanted):
+            return
+        self._requests[key] = _Request(
+            attempts=0, next_retry=self._tick, source=source
+        )
+
+    def _resync(self) -> None:
+        scenario = self.scenario
+        # Keep every orphan hole armed: the deepest missing parent of each
+        # buffered chain always has an active (or recently given-up)
+        # request, regardless of how the orphan got here.
+        for i, node in enumerate(self.nodes):
+            if node.alive:
+                for parent in node.missing_parents():
+                    self._want(i, parent, source=-1)
+        for key in sorted(self._requests, key=lambda k: (k[0], k[1])):
+            request = self._requests[key]
+            node_index, wanted = key
+            node = self.nodes[node_index]
+            if not node.alive:
+                del self._requests[key]  # crash wiped the orphan buffer
+                continue
+            if node.knows(wanted):
+                del self._requests[key]
+                self.counters["requests_satisfied"] += 1
+                continue
+            if self._tick < request.next_retry:
+                continue
+            if request.attempts >= scenario.request_retries:
+                del self._requests[key]
+                self._given_up.add(key)
+                self.counters["requests_expired"] += 1
+                continue
+            # First attempt goes to whoever told us about the block; retries
+            # fan out to seeded random peers (the source may be byzantine,
+            # crashed, or behind a partition).
+            if request.attempts == 0 and self._honest_peer(request.source, node_index):
+                peer = request.source
+            else:
+                peer = self._random_peer(node_index)
+            self.counters["get_sent"] += 1
+            self._post(node_index, peer, "get", ref=wanted)
+            request.attempts += 1
+            # Linear backoff: request_backoff * attempts ticks until the
+            # next try, so a full retry burst fits inside one quiet window.
+            request.next_retry = self._tick + scenario.request_backoff * request.attempts
+
+    def _honest_peer(self, peer: int, me: int) -> bool:
+        return 0 <= peer < len(self.nodes) and peer != me
+
+    def _random_peer(self, me: int) -> int:
+        return self._peer_rng.choice(
+            [i for i in range(len(self.nodes)) if i != me]
+        )
+
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """True when every live node agrees on the tip."""
+        tips = {node.tip_id() for node in self.nodes if node.alive}
+        return len(tips) <= 1
+
+
+# ----------------------------------------------------------------------
+# byzantine forgery
+# ----------------------------------------------------------------------
+def forge_block(
+    kind: str,
+    chain: Blockchain,
+    pow_fn: PowFunction,
+    rng: Xoshiro256,
+    timestamp: int,
+) -> tuple[Block, str] | None:
+    """Craft an invalid block of ``kind`` on top of ``chain``'s tip.
+
+    Returns ``(block, actual_kind)`` — the kind can degrade (e.g. to
+    ``bad-merkle``) when the requested one is impossible in the current
+    state: ``bad-pow``/``bad-bits`` cannot exist at the maximum target,
+    ``bad-timestamp`` cannot undercut a genesis parent at time zero.
+    Returns ``None`` when the nonce budget runs out.
+    """
+    tip = chain.tip_id
+    bits = chain.expected_bits(tip)
+    target = compact_to_target(bits)
+    budget = max(64, int(_ATTEMPTS_PER_DIFFICULTY * (MAX_TARGET / target)))
+    salt = rng.next_u64() >> 32
+    transactions = [b"byz-" + rng.next_u64().to_bytes(8, "little")]
+
+    if kind == "bad-timestamp" and chain.tip().header.timestamp == 0:
+        kind = "bad-pow"
+    if kind == "bad-bits":
+        easy_bits = target_to_compact(min(MAX_TARGET, target * 4))
+        if easy_bits == bits:
+            kind = "bad-merkle"  # already at the floor: bad-bits impossible
+    if kind == "bad-pow" and target * 2 > MAX_TARGET:
+        # Near the maximum target almost every digest meets PoW (compact
+        # encoding rounds MAX_TARGET down, so equality never triggers);
+        # a failing nonce is not reliably findable — forge the body instead.
+        kind = "bad-merkle"
+
+    try:
+        if kind == "bad-pow":
+            template = Block.build(tip, transactions, timestamp, bits)
+            for attempt in range(budget):
+                candidate = template.with_nonce(salt + attempt)
+                digest = pow_fn.hash(candidate.header.serialize())
+                if not meets_target(digest, target):
+                    return candidate, kind
+            return None
+        if kind == "bad-bits":
+            template = Block.build(tip, transactions, timestamp, easy_bits)
+            mined = mine_block(template, pow_fn, max_attempts=budget,
+                               start_nonce=salt)
+            return mined.block, kind
+        if kind == "bad-timestamp":
+            skewed = chain.tip().header.timestamp - 1
+            template = Block.build(tip, transactions, skewed, bits)
+            mined = mine_block(template, pow_fn, max_attempts=budget,
+                               start_nonce=salt)
+            return mined.block, kind
+        # bad-merkle: a validly mined header over a swapped-out body.
+        template = Block.build(tip, transactions, timestamp, bits)
+        mined = mine_block(template, pow_fn, max_attempts=budget,
+                           start_nonce=salt)
+        forged = Block(header=mined.block.header,
+                       transactions=(b"byz-forged-body",))
+        return forged, "bad-merkle"
+    except PowError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# invariants
+# ----------------------------------------------------------------------
+class InvariantChecker:
+    """Tick-by-tick consensus invariants over all node replicas."""
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self._last_work: dict[str, float] = {}
+        self._flagged: set[tuple[str, bytes]] = set()
+
+    def check_tick(
+        self, tick: int, nodes: list[Node], invalid_ids: dict[bytes, str]
+    ) -> None:
+        for node in nodes:
+            for bid, kind in invalid_ids.items():
+                if bid in node.chain and (node.name, bid) not in self._flagged:
+                    self._flagged.add((node.name, bid))
+                    self.violations.append(
+                        f"invalid-block: {kind} block {bid.hex()[:16]} entered "
+                        f"chain of {node.name} at tick {tick}"
+                    )
+            work = node.chain.total_work()
+            previous = self._last_work.get(node.name, 0.0)
+            if work < previous - 1e-9:
+                self.violations.append(
+                    f"work-regression: {node.name} tip work fell "
+                    f"{previous:.3f} -> {work:.3f} at tick {tick}"
+                )
+            self._last_work[node.name] = work
+            if node.orphan_count() > node.max_orphans:
+                self.violations.append(
+                    f"orphan-overflow: {node.name} buffers "
+                    f"{node.orphan_count()} > cap {node.max_orphans} "
+                    f"at tick {tick}"
+                )
+
+    def check_final(self, nodes: list[Node]) -> bool:
+        """Convergence invariant after the quiet window."""
+        tips = {node.tip_id() for node in nodes if node.alive}
+        if len(tips) > 1:
+            self.violations.append(
+                f"non-convergence: {len(tips)} distinct tips among live "
+                "nodes after the quiet window"
+            )
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# runner + report
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ChaosReport:
+    """Structured outcome of one chaos run.  ``to_json()`` is byte-stable:
+    replaying the same scenario (same seed) yields identical bytes."""
+
+    scenario: dict
+    ticks: int
+    blocks_mined: int
+    resolution_blocks: int
+    mining_failures: int
+    forged: dict[str, int]
+    messages: dict[str, int]
+    nodes: list[dict]
+    violations: list[str]
+    converged: bool
+
+    def ok(self) -> bool:
+        return self.converged and not self.violations
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=indent)
+
+
+class ChaosRunner:
+    """Executes one :class:`Scenario` tick by tick and reports.
+
+    ``pow_fn`` defaults to SHA-256d (chaos runs mine hundreds of real
+    blocks; HashCore at ~0.1 s/hash would take hours).  ``node_factory``
+    lets tests substitute doubles — e.g. a node whose chain skips PoW
+    validation, to prove the invariant checker catches the forgery.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        pow_fn: PowFunction | None = None,
+        node_factory=None,
+    ) -> None:
+        self.scenario = scenario
+        self.pow_fn = pow_fn or Sha256d()
+        self.node_factory = node_factory
+
+    def run(self) -> ChaosReport:
+        scenario = self.scenario
+        net = ChaosNetwork(scenario, self.pow_fn, self.node_factory)
+        mine_rng = _stream(scenario.seed, 0x2B0B)
+        byz_rng = _stream(scenario.seed, 0x3CDE)
+        checker = InvariantChecker()
+        invalid_ids: dict[bytes, str] = {}
+        forged: Counter[str] = Counter()
+        mined = 0
+        resolution_blocks = 0
+        mining_failures = 0
+        mine_until = scenario.effective_mine_until()
+
+        for tick in range(1, scenario.ticks + 1):
+            # 1. scheduled crash / restart events
+            for crash in scenario.crashes:
+                if crash.at == tick:
+                    net.crash_node(crash.node)
+                elif crash.restart_at == tick:
+                    net.nodes[crash.node].restart()
+            # 2. byzantine injections
+            for offset, byz in enumerate(scenario.byzantine):
+                until = byz.until if byz.until is not None else scenario.ticks
+                if byz.start <= tick <= until and (tick - byz.start) % byz.every == 0:
+                    victim = net.nodes[byz_rng.randint(0, scenario.n_nodes - 1)]
+                    wanted_kind = byz_rng.choice(list(byz.kinds))
+                    result = forge_block(
+                        wanted_kind, victim.chain, self.pow_fn, byz_rng,
+                        tick * scenario.block_time,
+                    )
+                    if result is not None:
+                        block, kind = result
+                        invalid_ids[block_id(block)] = kind
+                        forged[kind] += 1
+                        net.inject(scenario.n_nodes + offset, block)
+            # 3. honest mining (one seeded Bernoulli roll per tick)
+            miner: int | None = None
+            if tick <= mine_until and mine_rng.random() < scenario.mine_prob:
+                weights = [
+                    (scenario.hashrates[i] if scenario.hashrates else 1.0)
+                    if node.alive else 0.0
+                    for i, node in enumerate(net.nodes)
+                ]
+                if sum(weights) > 0.0:
+                    miner = mine_rng.sample_weighted(weights)
+            elif (
+                tick > mine_until
+                and tick <= scenario.ticks - 3 * scenario.announce_every
+                and tick % (2 * scenario.announce_every) == 0
+                and not net.converged()
+            ):
+                # Resolution mining: PoW convergence is a *liveness*
+                # property — an equal-work fork persists until some miner
+                # extends one branch.  During the quiet window the heaviest
+                # live node mines at a slow cadence until tips agree,
+                # exactly the mechanism that resolves ties in a real
+                # network.  It stops three announce rounds before the end
+                # so laggards chase a static tip, not a moving one.
+                live = [
+                    (node.chain.total_work(), -i)
+                    for i, node in enumerate(net.nodes) if node.alive
+                ]
+                if live:
+                    miner = -max(live)[1]
+                    resolution_blocks += 1
+            if miner is not None:
+                node = net.nodes[miner]
+                template = Block.build(
+                    prev_hash=node.tip_id(),
+                    transactions=[f"cb-{tick}-{miner}".encode()],
+                    timestamp=tick * scenario.block_time,
+                    bits=node.chain.expected_bits(node.tip_id()),
+                )
+                difficulty = max(
+                    1.0,
+                    MAX_TARGET / compact_to_target(template.header.bits),
+                )
+                try:
+                    result = mine_block(
+                        template,
+                        self.pow_fn,
+                        max_attempts=max(
+                            64, int(_ATTEMPTS_PER_DIFFICULTY * difficulty)
+                        ),
+                        start_nonce=mine_rng.next_u64() >> 32,
+                    )
+                except PowError:
+                    mining_failures += 1
+                else:
+                    mined += 1
+                    node.receive(result.block)
+                    net.broadcast_from(miner, result.block)
+            # 4. network phases: delivery, announcements, resync
+            net.tick()
+            # 5. invariants
+            checker.check_tick(tick, net.nodes, invalid_ids)
+
+        converged = checker.check_final(net.nodes)
+        return ChaosReport(
+            scenario=scenario.to_dict(),
+            ticks=scenario.ticks,
+            blocks_mined=mined,
+            resolution_blocks=resolution_blocks,
+            mining_failures=mining_failures,
+            forged=dict(sorted(forged.items())),
+            messages=dict(sorted(net.counters.items())),
+            nodes=[node.stats() for node in net.nodes],
+            violations=list(checker.violations),
+            converged=converged,
+        )

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro workloads
     python -m repro mine --difficulty 4 --blocks 2
     python -m repro simulate --hashrates 100,50,25 --blocks 500
+    python -m repro chaos --nodes 4 --drop 0.1 --byzantine 7 --seed 3
 
 Every command is a thin shell over the library; ``main(argv)`` returns an
 exit code and is exercised directly by the test suite.
@@ -287,6 +288,74 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _parse_partition(spec: str):
+    """``start:end:0,1/2,3`` → :class:`~repro.blockchain.faults.Partition`."""
+    from repro.blockchain.faults import Partition
+
+    try:
+        start, end, groups = spec.split(":")
+        return Partition(
+            start=int(start),
+            end=int(end),
+            groups=tuple(
+                tuple(int(n) for n in group.split(","))
+                for group in groups.split("/")
+            ),
+        )
+    except ValueError:
+        raise ReproError(
+            f"bad partition spec {spec!r}, want start:end:0,1/2,3"
+        ) from None
+
+
+def _parse_crash(spec: str):
+    """``node:at:restart_at`` → :class:`~repro.blockchain.faults.Crash`."""
+    from repro.blockchain.faults import Crash
+
+    try:
+        node, at, restart_at = (int(x) for x in spec.split(":"))
+    except ValueError:
+        raise ReproError(
+            f"bad crash spec {spec!r}, want node:at:restart_at"
+        ) from None
+    return Crash(node=node, at=at, restart_at=restart_at)
+
+
+def cmd_chaos(args) -> int:
+    """Run a fault-injection chaos scenario and print the JSON report.
+
+    Exit code 0 when every invariant held and the honest nodes converged;
+    1 otherwise — so a chaos run slots straight into CI.
+    """
+    from repro.blockchain.faults import ByzantinePeer, LinkFaults, Scenario
+    from repro.blockchain.sim import ChaosRunner
+
+    if args.scenario is not None:
+        with open(args.scenario, encoding="utf-8") as handle:
+            scenario = Scenario.from_dict(json.load(handle))
+        if args.seed is not None:
+            scenario = scenario.with_seed(args.seed)
+    else:
+        byzantine = ()
+        if args.byzantine:
+            byzantine = (ByzantinePeer(every=args.byzantine),)
+        scenario = Scenario(
+            n_nodes=args.nodes,
+            seed=args.seed if args.seed is not None else 1,
+            ticks=args.ticks,
+            link=LinkFaults(
+                delay=args.delay, jitter=args.jitter,
+                drop=args.drop, duplicate=args.duplicate,
+            ),
+            partitions=tuple(_parse_partition(s) for s in args.partition),
+            crashes=tuple(_parse_crash(s) for s in args.crash),
+            byzantine=byzantine,
+        )
+    report = ChaosRunner(scenario).run()
+    print(report.to_json())
+    return 0 if report.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser."""
     parser = argparse.ArgumentParser(
@@ -351,6 +420,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pool", help="build a widget pool and report §VI-A stats")
     p.add_argument("--size", type=int, default=16)
     p.set_defaults(fn=cmd_pool)
+
+    p = sub.add_parser("chaos", help="fault-injection consensus chaos run")
+    p.add_argument("--scenario", default=None, metavar="JSON",
+                   help="scenario schedule file (overrides the flags below)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--ticks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=None,
+                   help="replay seed (also overrides a --scenario file's)")
+    p.add_argument("--delay", type=int, default=1)
+    p.add_argument("--jitter", type=int, default=0)
+    p.add_argument("--drop", type=float, default=0.0)
+    p.add_argument("--duplicate", type=float, default=0.0)
+    p.add_argument("--partition", action="append", default=[],
+                   metavar="START:END:0,1/2,3",
+                   help="scheduled partition (repeatable)")
+    p.add_argument("--crash", action="append", default=[],
+                   metavar="NODE:AT:RESTART",
+                   help="crash/restart event (repeatable)")
+    p.add_argument("--byzantine", type=int, default=0, metavar="EVERY",
+                   help="add a byzantine peer forging every EVERY ticks")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("simulate", help="statistical mining-network study")
     p.add_argument("--hashrates", default="100,50,25")

@@ -44,5 +44,20 @@ class ChainError(ReproError):
     """A block or chain failed consensus validation."""
 
 
+class ValidationError(ChainError):
+    """A block failed one specific consensus check.
+
+    ``code`` is a stable machine-readable slug (``unknown-parent``,
+    ``bad-timestamp``, ``bad-bits``, ``duplicate-tx``, ``bad-merkle``,
+    ``bad-pow``, ``duplicate-block``) so callers — the gossip node's
+    rejection statistics, the chaos harness's reports — can classify
+    rejections without parsing message strings.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class ConfigError(ReproError):
     """A machine or generator configuration is invalid."""

@@ -67,3 +67,11 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "block accepted at height 1" in out
         assert "replay rejected" in out
+
+    def test_chaos_scenario(self, capsys):
+        module = load_example("chaos_scenario")
+        module.main()
+        out = capsys.readouterr().out
+        assert "round-trip OK" in out
+        assert "violations=[] converged=True" in out
+        assert "byte-identical report on replay: True" in out

@@ -42,3 +42,61 @@ class TestGoldenVectors:
 
     def test_vectors_distinct(self):
         assert len(set(GOLDEN.values())) == len(GOLDEN)
+
+
+# ----------------------------------------------------------------------
+# Gossip-layer golden vector.  The chaos harness replays entire fault
+# schedules from one seed, which is only sound if the underlying P2P
+# delivery order is itself deterministic.  This pins the complete delivery
+# trace (tick, origin, target, block id, outcome) plus the resulting
+# reorg counts for a fixed 3-node, delay=2 fork scenario — including the
+# first-seen tie-break that leaves node2 on its own equal-work branch.
+GOLDEN_GOSSIP_TRACE = (
+    "92ac057d906b363152cc085fe3f6ee2562ca225fed2bd46ced722d123236141e"
+)
+GOLDEN_GOSSIP_REORGS = [1, 0, 0]
+GOLDEN_GOSSIP_TIPS = ["025a0dcd3926d697", "025a0dcd3926d697", "04a6638aab1f5e44"]
+
+
+class TestGossipGoldenVector:
+    def _run(self):
+        import hashlib
+
+        from repro.baselines.sha256d import Sha256d
+        from repro.blockchain.chain import block_id
+        from repro.blockchain.difficulty import RetargetSchedule
+        from repro.blockchain.node import P2PNetwork
+        from repro.core.pow import difficulty_to_target, target_to_compact
+
+        net = P2PNetwork.create(
+            3, Sha256d(), schedule=RetargetSchedule(interval=10_000),
+            genesis_bits=target_to_compact(difficulty_to_target(16.0)),
+            delay=2,
+        )
+        events = []
+        net.on_deliver = lambda tick, origin, target, block, result: (
+            events.append(
+                f"{tick}:{origin}->{target}:"
+                f"{block_id(block).hex()[:12]}:{result.status}"
+            )
+        )
+        net.mine_on(0, [b"a1"], timestamp=30, nonce_salt=0)
+        net.mine_on(1, [b"b1"], timestamp=31, nonce_salt=10**6)
+        net.tick()
+        net.mine_on(1, [b"b2"], timestamp=60, nonce_salt=10**6)
+        net.tick()
+        net.mine_on(2, [b"c3"], timestamp=90, nonce_salt=5 * 10**5)
+        net.settle()
+        trace = hashlib.sha256("\n".join(events).encode()).hexdigest()
+        return net, events, trace
+
+    def test_delivery_order_pinned(self):
+        net, events, trace = self._run()
+        assert len(events) == 8
+        assert trace == GOLDEN_GOSSIP_TRACE
+
+    def test_reorgs_and_tips_pinned(self):
+        net, _, _ = self._run()
+        assert [n.reorgs for n in net.nodes] == GOLDEN_GOSSIP_REORGS
+        assert [n.chain.tip_id.hex()[:16] for n in net.nodes] == GOLDEN_GOSSIP_TIPS
+        assert net.heights() == [2, 2, 2]

@@ -92,3 +92,84 @@ class TestOrphans:
                                 propagation_delay=0.5, seed=8)
         assert fast.orphan_candidates == 0
         assert slow.orphan_candidates > 0
+
+
+class TestCallableHashrateEdgeCases:
+    def test_zero_total_vector_mid_run_rejected(self):
+        # A callable that goes all-zero at height 50 (every miner left) must
+        # fail loudly, not divide by zero or spin forever.
+        def rates(now, height):
+            return [10.0, 5.0] if height < 50 else [0.0, 0.0]
+
+        with pytest.raises(ChainError):
+            simulate_network(rates, 100, seed=2)
+
+    def test_negative_rate_mid_run_rejected(self):
+        def rates(now, height):
+            return [10.0] if height < 10 else [-1.0]
+
+        with pytest.raises(ChainError):
+            simulate_network(rates, 100, seed=2)
+
+    def test_empty_vector_mid_run_rejected(self):
+        def rates(now, height):
+            return [10.0] if height < 10 else []
+
+        with pytest.raises(ChainError):
+            simulate_network(rates, 100, seed=2)
+
+    def test_failure_is_lazy(self):
+        # Heights before the bad vector simulate fine.
+        def rates(now, height):
+            return [10.0] if height <= 20 else [0.0]
+
+        assert len(simulate_network(rates, 20, seed=2).winners) == 20
+
+
+class TestOrphanAccounting:
+    def test_orphan_count_matches_interarrival_censoring(self):
+        # orphan_candidates is exactly the number of inter-arrival gaps
+        # shorter than the propagation delay — pinned by recomputation.
+        delay = 0.4
+        result = simulate_network([100.0], 1500, initial_difficulty=100.0,
+                                  propagation_delay=delay, seed=13)
+        expected = sum(1 for dt in result.block_times if dt < delay)
+        assert result.orphan_candidates == expected
+        assert 0 < result.orphan_candidates < 1500
+
+    def test_zero_delay_never_counts(self):
+        result = simulate_network([100.0], 500, initial_difficulty=100.0,
+                                  propagation_delay=0.0, seed=13)
+        assert result.orphan_candidates == 0
+
+
+class TestRetargetBoundaries:
+    def test_difficulty_plateaus_between_retarget_heights(self):
+        # Difficulty may only change crossing a height % interval == 0
+        # boundary; inside a window it is constant.
+        interval = 8
+        schedule = RetargetSchedule(block_time=30.0, interval=interval)
+        result = simulate_network([100.0], 120, schedule,
+                                  initial_difficulty=500.0, seed=17)
+        for k in range(1, len(result.difficulties)):
+            if k % interval != 0:
+                assert result.difficulties[k] == result.difficulties[k - 1]
+
+    def test_window_start_drifts_between_windows(self):
+        # Each retarget measures elapsed time since the *previous* retarget
+        # (window_start drift), so successive windows see different actual
+        # durations and successive retargets land on different difficulties.
+        schedule = RetargetSchedule(block_time=30.0, interval=8)
+        result = simulate_network([100.0], 200, schedule,
+                                  initial_difficulty=5000.0, seed=19)
+        plateaus = [result.difficulties[k]
+                    for k in range(0, len(result.difficulties), 8)]
+        assert len(set(plateaus)) > 2
+
+    def test_exact_multiple_of_interval_run_length(self):
+        # n_blocks landing exactly on a retarget boundary retargets on the
+        # final block without error.
+        schedule = RetargetSchedule(block_time=30.0, interval=10)
+        result = simulate_network([50.0], 30, schedule,
+                                  initial_difficulty=100.0, seed=23)
+        assert len(result.difficulties) == 30

@@ -123,3 +123,121 @@ class TestNetworkConstruction:
     def test_nodes_named(self):
         net = network(3)
         assert [n.name for n in net.nodes] == ["node0", "node1", "node2"]
+
+
+class TestReceiveResult:
+    def test_accepted_result_truthy_with_status(self):
+        net = network(1)
+        block = net.mine_on(0, [b"tx"], timestamp=30)
+        fresh = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        result = fresh.receive(block)
+        assert result
+        assert result.status == "accepted"
+        assert result.code is None
+
+    def test_orphan_result_reports_unknown_parent(self):
+        net = network(1)
+        net.mine_on(0, [b"p"], timestamp=30)
+        child = net.mine_on(0, [b"c"], timestamp=60)
+        fresh = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        result = fresh.receive(child)
+        assert not result
+        assert (result.status, result.code) == ("orphaned", "unknown-parent")
+        # Same block again: deduplicated, not double-buffered.
+        again = fresh.receive(child)
+        assert (again.status, again.code) == ("orphaned", "already-buffered")
+        assert fresh.orphan_count() == 1
+
+    def test_rejection_carries_validation_code(self):
+        from repro.blockchain.block import Block
+
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        bogus = Block.build(node.tip_id(), [b"x"], 30, EASY)  # unmined
+        result = node.receive(bogus)
+        assert (result.status, result.code) == ("rejected", "bad-pow")
+        assert node.rejections["bad-pow"] == 1
+
+
+class TestOrphanCap:
+    def _chain_blocks(self, n):
+        net = network(1)
+        return [net.mine_on(0, [f"b{i}".encode()], timestamp=30 * (i + 1))
+                for i in range(n)]
+
+    def test_fifo_eviction_beyond_cap(self):
+        blocks = self._chain_blocks(6)
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY,
+                    max_orphans=3)
+        for block in blocks[1:]:  # five orphans into a three-slot buffer
+            node.receive(block)
+        assert node.orphan_count() == 3
+        assert node.orphans_evicted == 2
+        # The two oldest (blocks[1], blocks[2]) were evicted, so delivering
+        # the root connects only itself — the chain is broken at the hole.
+        assert node.receive(blocks[0])
+        assert node.chain.height() == 1
+        assert node.orphan_count() == 3
+        assert node.stats()["orphans_evicted"] == 2
+
+    def test_cap_validates(self):
+        with pytest.raises(ChainError):
+            Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY,
+                 max_orphans=0)
+
+    def test_missing_parents_lists_resync_targets(self):
+        blocks = self._chain_blocks(3)
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        node.receive(blocks[2])
+        node.receive(blocks[1])
+        from repro.blockchain.chain import block_id
+
+        # Both buffered blocks wait on parents outside the chain: blocks[2]
+        # on the (merely buffered) blocks[1], blocks[1] on blocks[0].
+        assert set(node.missing_parents()) == {block_id(blocks[1]),
+                                               block_id(blocks[0])}
+        assert node.knows(block_id(blocks[1]))      # buffered counts
+        assert not node.knows(block_id(blocks[0]))  # truly missing
+
+    def test_two_thousand_block_orphan_chain_drains_iteratively(self):
+        # Regression: _drain_orphans used to recurse per connected child;
+        # a deep buffered chain overflowed the interpreter stack near the
+        # default recursion limit (~1000).  The worklist version must chew
+        # through 2000 blocks flat.
+        blocks = self._chain_blocks(2000)
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY,
+                    max_orphans=2500)
+        for block in reversed(blocks[1:]):
+            node.receive(block)
+        assert node.orphan_count() == 1999
+        assert node.receive(blocks[0])
+        assert node.chain.height() == 2000
+        assert node.orphan_count() == 0
+        assert node.accepted == 2000
+
+
+class TestCrashRestart:
+    def test_crash_drops_traffic_and_orphans(self):
+        net = network(1)
+        net.mine_on(0, [b"p"], timestamp=30)
+        child = net.mine_on(0, [b"c"], timestamp=60)
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        node.receive(child)
+        assert node.orphan_count() == 1
+        node.crash()
+        assert not node.alive
+        assert node.orphan_count() == 0  # in-memory buffer lost
+        result = node.receive(child)
+        assert (result.status, result.accepted) == ("offline", False)
+        node.restart()
+        assert node.alive
+        assert node.receive(child).status == "orphaned"
+        assert node.stats()["crashes"] == 1
+
+    def test_chain_survives_crash(self):
+        net = network(1)
+        block = net.mine_on(0, [b"p"], timestamp=30)
+        node = Node("n", Sha256d(), schedule=SCHEDULE, genesis_bits=EASY)
+        node.receive(block)
+        node.crash()
+        node.restart()
+        assert node.chain.height() == 1  # the chain is "on disk"
