@@ -12,6 +12,13 @@ is the number a code change can actually regress.  The tolerance is wide
 because these are wall-clock rates on a shared box; catching a 2× cliff
 matters, chasing ±10% noise does not.
 
+A second gate bounds the *supervision overhead*: the mining engine's
+worker loop (cancel polling, fault-plan hook, poisoned-seed guard, stats
+channel) is timed in-process against the bare hash loop it wraps, over
+the same warmed nonce range.  Supervision must be near-free on the happy
+path — the supervised loop may not fall more than
+``--supervision-threshold`` (default 10%) below the bare loop.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -55,6 +62,72 @@ def measure_cached(machine_name: str, instructions: int, hashes: int,
     return rates
 
 
+def measure_supervision_overhead(
+    machine_name: str, instructions: int, nonces: int, repeats: int
+) -> dict[str, float]:
+    """Cached-widget hash/s of the supervised worker loop vs the bare
+    hash loop it wraps, in-process over one warmed nonce range.
+
+    ``_engine_search`` is invoked directly (worker globals patched in
+    place of a pool initializer) so the measurement isolates the per-hash
+    supervision cost — cancel polling, the fault-plan hook, the
+    poisoned-seed guard, the stats channel — from process-pool transport.
+    """
+    from repro.blockchain import mining_engine
+    from repro.blockchain.block import BlockHeader
+    from repro.core.pow import (
+        compact_to_target,
+        difficulty_to_target,
+        target_to_compact,
+    )
+
+    bits = target_to_compact(difficulty_to_target(2.0**40))  # never solves
+    header = BlockHeader(1, bytes(32), bytes(32), 0, bits, 0)
+    core = HashCore(
+        machine=preset(machine_name),
+        params=_params(instructions),
+        mode="jit",
+        widget_cache_size=max(
+            HashCore.DEFAULT_WIDGET_CACHE_SIZE, 2 * nonces
+        ),
+    )
+    for nonce in range(nonces):  # warm: every nonce's widget in the LRU
+        core.hash(header.with_nonce(nonce).serialize())
+
+    def bare(_i: int) -> None:
+        for nonce in range(nonces):
+            core.hash(header.with_nonce(nonce).serialize())
+
+    search_args = (
+        header.serialize(), 0, nonces, compact_to_target(bits), 0
+    )
+
+    def supervised(_i: int) -> None:
+        mining_engine._engine_search(search_args)
+
+    saved = (
+        mining_engine._WORKER_POW,
+        mining_engine._WORKER_CANCEL,
+        mining_engine._WORKER_FAULTS,
+    )
+    mining_engine._WORKER_POW = core
+    mining_engine._WORKER_CANCEL = None
+    mining_engine._WORKER_FAULTS = None
+    try:
+        # Each fn(i) scans the whole range: scale ranges/s back to hash/s.
+        rates = {
+            "bare": nonces * _best_rate(bare, 1, repeats),
+            "supervised": nonces * _best_rate(supervised, 1, repeats),
+        }
+    finally:
+        (
+            mining_engine._WORKER_POW,
+            mining_engine._WORKER_CANCEL,
+            mining_engine._WORKER_FAULTS,
+        ) = saved
+    return rates
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--committed", type=pathlib.Path,
@@ -62,6 +135,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline artifact to compare against")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="maximum tolerated fractional drop (0.20 = 20%%)")
+    parser.add_argument("--supervision-threshold", type=float, default=0.10,
+                        help="maximum tolerated supervised-vs-bare worker "
+                             "loop slowdown (0.10 = 10%%)")
     parser.add_argument("--machine", choices=sorted(PRESETS), default=None,
                         help="machine preset (default: the committed one)")
     parser.add_argument("--instructions", type=int, default=None,
@@ -100,6 +176,18 @@ def main(argv: list[str] | None = None) -> int:
         failed |= verdict == "FAIL"
         print(f"{mode:>5}: committed {old:8.2f} hash/s, fresh {new:8.2f} "
               f"hash/s ({-drop:+.1%})  {verdict}")
+
+    overhead = measure_supervision_overhead(
+        machine, instructions, args.hashes, args.repeats
+    )
+    drop = 1.0 - overhead["supervised"] / overhead["bare"]
+    verdict = "FAIL" if drop > args.supervision_threshold else "ok"
+    failed |= verdict == "FAIL"
+    print(f"supervised worker loop: bare {overhead['bare']:8.2f} hash/s, "
+          f"supervised {overhead['supervised']:8.2f} hash/s "
+          f"({-drop:+.1%}, budget {args.supervision_threshold:.0%})  "
+          f"{verdict}")
+
     if failed:
         print(f"regression gate FAILED: a tier dropped more than "
               f"{args.threshold:.0%} below {args.committed}")

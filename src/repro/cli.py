@@ -206,7 +206,9 @@ def cmd_mine(args) -> int:
             args.machine, args.instructions, args.widgets, args.mode,
             args.profile,
         )
-        engine = MiningEngine(factory, workers=args.workers)
+        engine = MiningEngine(
+            factory, workers=args.workers, chunk_timeout=args.chunk_timeout
+        )
     try:
         for height in range(1, args.blocks + 1):
             block = Block.build(
@@ -219,7 +221,8 @@ def cmd_mine(args) -> int:
             max_attempts = int(args.difficulty * 100)
             if engine is not None:
                 solved, digest, attempts = engine.mine_header(
-                    block.header, max_attempts=max_attempts
+                    block.header, max_attempts=max_attempts,
+                    deadline=args.deadline,
                 )
                 mined_block = Block(
                     header=solved, transactions=block.transactions
@@ -241,6 +244,16 @@ def cmd_mine(args) -> int:
                 f"{report.hashes:,} hashes, "
                 f"{report.hashrate:.1f} hash/s aggregate, "
                 f"adaptive chunk {report.chunk}"
+            )
+            health = report.health
+            degraded = sum(health.degradations.values())
+            print(
+                f"health : respawns={health.respawns} "
+                f"timeouts={health.chunk_timeouts} "
+                f"requeues={health.requeues} "
+                f"poisoned={health.poisoned_seeds} "
+                f"degraded={degraded}"
+                + ("" if health.healthy else "  [degraded run]")
             )
     finally:
         if engine is not None:
@@ -414,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=1,
         help="worker processes; >1 mines on the persistent engine",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per block on the engine; expiry exits "
+        "with a structured deadline-exceeded fault",
+    )
+    p.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="hung-chunk watchdog deadline (default: derived from the "
+        "measured chunk timing; 0 disables)",
     )
     p.set_defaults(fn=cmd_mine)
 

@@ -171,6 +171,10 @@ class HashCore:
                 "evictions": self._cache_evictions,
             },
             "programs": programs,
+            # Tier-degradation counters from the machine's self-healing
+            # ladder (all zeros on a healthy machine); the mining engine
+            # folds these into EngineReport.health via the stats channel.
+            "tiers": self.machine.tier_stats(),
         }
 
     def hash(self, data: bytes) -> bytes:

@@ -63,13 +63,25 @@ class Widget:
         (``"timed"``, ``"fast"`` or ``"jit"``; default: the machine's own
         mode) — the output bytes are identical on every tier, only the
         counters differ.
+
+        Execution rides the machine's degrading tier ladder
+        (:meth:`~repro.machine.cpu.Machine.run_with_fallback`): a tier
+        that fails on this widget falls back to the next one on a fresh
+        memory image, so one bad JIT translation degrades the widget, not
+        the miner.  A fuse trip (:class:`ExecutionLimitExceeded`) still
+        propagates — it is an architectural outcome, the same on every
+        tier.
         """
-        memory = machine.new_memory()
-        for directive in self.spec.plan.directives():
-            directive.apply(memory)
-        result = machine.run(
+
+        def build_memory():
+            memory = machine.new_memory()
+            for directive in self.spec.plan.directives():
+                directive.apply(memory)
+            return memory
+
+        result = machine.run_with_fallback(
             self.program,
-            memory,
+            build_memory,
             max_instructions=int(self.spec.meta.get("fuse", 10_000_000)),
             snapshot_interval=self.spec.snapshot_interval,
             mode=mode,

@@ -59,5 +59,40 @@ class ValidationError(ChainError):
         self.code = code
 
 
+#: Stable machine-readable fault codes the supervised mining/execution
+#: stack can raise or record.  Mirrors the :class:`ValidationError` code
+#: vocabulary for consensus rejections.
+ENGINE_FAULT_CODES = (
+    "worker-crash",
+    "chunk-timeout",
+    "tier-degraded",
+    "deadline-exceeded",
+)
+
+
+class EngineFault(PowError):
+    """The supervised mining engine hit a fault it could not absorb.
+
+    ``code`` is a stable machine-readable slug from
+    :data:`ENGINE_FAULT_CODES` (``worker-crash`` — the worker pool died
+    more than ``max_respawns`` times; ``chunk-timeout`` — a nonce chunk
+    exceeded its watchdog deadline on every allowed retry;
+    ``tier-degraded`` — a widget failed on every execution tier, timed
+    model included; ``deadline-exceeded`` — ``mine_header(deadline=…)``
+    ran out of wall clock), so callers can classify engine failures
+    without parsing message strings — the same contract
+    :class:`ValidationError.code` gives consensus rejections.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ENGINE_FAULT_CODES:
+            raise ValueError(
+                f"unknown engine fault code {code!r}; "
+                f"expected one of {ENGINE_FAULT_CODES}"
+            )
+        super().__init__(message)
+        self.code = code
+
+
 class ConfigError(ReproError):
     """A machine or generator configuration is invalid."""

@@ -48,6 +48,12 @@ class Program:
         repr=False,
         compare=False,
     )
+    #: Execution tiers that have failed on this program (compile bug, codegen
+    #: fault, execution-time error) and must not be retried — the machine's
+    #: degrading ladder (:meth:`repro.machine.cpu.Machine.run_with_fallback`)
+    #: marks a tier here once and silently routes around it afterwards, which
+    #: is what makes ``mode="auto"`` self-healing.
+    _blocked_tiers: set = field(default_factory=set, repr=False, compare=False)
 
     def code_tuples(self) -> list[tuple]:
         """Decoded instruction tuples (cached; the interpreter's hot input)."""
@@ -100,13 +106,28 @@ class Program:
         stats["code_ready"] = self._code is not None
         stats["fast_ready"] = self._fast is not None
         stats["jit_ready"] = self._jit is not None
+        stats["blocked_tiers"] = sorted(self._blocked_tiers)
         return stats
+
+    def block_tier(self, tier: str) -> None:
+        """Mark an execution tier as failed for this program.
+
+        The degrading ladder skips blocked tiers on every later run instead
+        of re-paying the failed compile/execute attempt.
+        """
+        self._blocked_tiers.add(tier)
+
+    def tier_blocked(self, tier: str) -> bool:
+        """Whether ``tier`` has been marked failed for this program."""
+        return tier in self._blocked_tiers
 
     def invalidate_code(self) -> None:
         """Drop the decode caches after mutating ``instructions`` in place."""
         self._code = None
         self._fast = None
         self._jit = None
+        # A recompile gets a fresh chance on every tier.
+        self._blocked_tiers.clear()
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.errors import ExecutionError, ExecutionLimitExceeded
+from repro.errors import ExecutionError, ExecutionLimitExceeded, ReproError
 from repro.isa.opcodes import NUM_FP_REGS, NUM_INT_REGS, NUM_VEC_REGS, VEC_LANES
 from repro.isa.program import Program
 from repro.machine.branch_predictor import make_predictor
@@ -97,6 +98,13 @@ EXECUTION_MODES = ("timed", "fast", "jit")
 FASTEST_MODE = "jit"
 
 
+#: Degradation order of the tier ladder: when a tier fails on a program
+#: (compile bug, codegen fault, execution-time error) execution falls to
+#: the next entry instead of dying; ``timed`` is the reference model and
+#: the final rung.
+NEXT_TIER = {"jit": "fast", "fast": "timed"}
+
+
 def resolve_mode(mode: str, exc: type[Exception] = ExecutionError) -> str:
     """Resolve a PoW-level ``mode`` knob to a concrete execution tier.
 
@@ -151,10 +159,119 @@ class Machine:
         for op in range(64, 71):
             lat[op] = cfg.vector_latency
         self._latency = lat
+        # Tier-degradation registry: aggregate fall-back counters plus a
+        # per-widget breakdown, surfaced through tier_stats() the way the
+        # decode caches surface cache_stats().
+        self._degradations: dict[str, int] = {}
+        self._widget_degradations: dict[str, dict[str, int]] = {}
+        self._degradation_log: list[str] = []
 
     def new_memory(self) -> Memory:
         """A zeroed memory sized for this machine."""
         return Memory(self.config.memory_words)
+
+    # ------------------------------------------------------------------
+    def _note_degradation(
+        self, program: Program, from_tier: str, to_tier: str, exc: Exception
+    ) -> None:
+        """Record one tier fall-back and block the failed tier on the
+        program so later runs route around it without retrying."""
+        program.block_tier(from_tier)
+        key = f"{from_tier}->{to_tier}"
+        self._degradations[key] = self._degradations.get(key, 0) + 1
+        per = self._widget_degradations.setdefault(program.name, {})
+        per[key] = per.get(key, 0) + 1
+        if len(self._degradation_log) < 32:  # cap: diagnostics, not a leak
+            self._degradation_log.append(
+                f"{program.name}: {key}: {exc!r}"
+            )
+
+    def tier_stats(self) -> dict:
+        """Tier-degradation counters, ``cache_stats()``-style.
+
+        ``degradations`` aggregates fall-back events per edge of the
+        ladder (``{"jit->fast": n, "fast->timed": m}``), ``widgets``
+        breaks them down per program name, and ``log`` keeps the first
+        few error strings for diagnostics.  All zeros/empty on a healthy
+        machine — the mining engine's health report folds these in via
+        the per-worker stats channel.
+        """
+        return {
+            "degradations": dict(self._degradations),
+            "widgets": {
+                name: dict(counts)
+                for name, counts in self._widget_degradations.items()
+            },
+            "log": list(self._degradation_log),
+        }
+
+    def run_with_fallback(
+        self,
+        program: Program,
+        memory_factory: "Callable[[], Memory] | None" = None,
+        *,
+        max_instructions: int = 10_000_000,
+        snapshot_interval: int = 0,
+        initial_iregs: list[int] | None = None,
+        initial_fregs: list[float] | None = None,
+        mode: str | None = None,
+    ) -> ExecutionResult:
+        """Execute ``program`` on the degrading tier ladder.
+
+        Like :meth:`run`, but execution-time faults in an accelerated tier
+        (not just translation faults) degrade to the next rung instead of
+        propagating: the failed tier may have dirtied memory mid-run, so
+        each attempt starts from a fresh ``memory_factory()`` product.
+        :class:`ExecutionLimitExceeded` always propagates — the fuse trip
+        is an architectural outcome, identical on every tier, not a tier
+        bug.  If even the timed reference model fails on a non-library
+        error after degradation, the ladder raises a structured
+        :class:`~repro.errors.EngineFault` with code ``tier-degraded``.
+
+        ``memory_factory`` rebuilds the initial memory image for each
+        attempt (``None``: a zeroed machine-sized memory).  The happy path
+        calls it exactly once and adds only a try frame over :meth:`run`.
+        """
+        mode = self.mode if mode is None else mode
+        if mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        kwargs = dict(
+            max_instructions=max_instructions,
+            snapshot_interval=snapshot_interval,
+            initial_iregs=initial_iregs,
+            initial_fregs=initial_fregs,
+        )
+
+        def fresh_memory() -> Memory | None:
+            return memory_factory() if memory_factory is not None else None
+
+        tier = mode
+        while tier != "timed":
+            if program.tier_blocked(tier):
+                tier = NEXT_TIER[tier]
+                continue
+            try:
+                return self.run(program, fresh_memory(), mode=tier, **kwargs)
+            except ExecutionLimitExceeded:
+                raise
+            except Exception as exc:  # noqa: BLE001 — tier bug, degrade
+                self._note_degradation(program, tier, NEXT_TIER[tier], exc)
+                tier = NEXT_TIER[tier]
+        try:
+            return self.run(program, fresh_memory(), mode="timed", **kwargs)
+        except ReproError:
+            raise  # library errors (fuse, config…) are the real outcome
+        except Exception as exc:  # noqa: BLE001
+            from repro.errors import EngineFault
+
+            raise EngineFault(
+                "tier-degraded",
+                f"{program.name}: every execution tier failed "
+                f"(last: {exc!r})",
+            ) from exc
 
     # ------------------------------------------------------------------
     def run(
@@ -193,7 +310,30 @@ class Machine:
                 f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
             )
         if mode != "timed" and not collect_detail:
-            if mode == "jit":
+            # Degrading dispatch: a tier whose *translation* step fails
+            # (jit_code()/fast_handlers() raising before any architectural
+            # state is touched) falls to the next rung instead of dying.
+            # Execution-time failures propagate — memory may be dirty, so
+            # only run_with_fallback (which can rebuild memory) retries
+            # them on a lower tier.
+            tier = mode
+            while tier != "timed":
+                if program.tier_blocked(tier):
+                    tier = NEXT_TIER[tier]
+                    continue
+                try:
+                    if tier == "jit":
+                        program.jit_code()
+                    else:
+                        program.fast_handlers()
+                except Exception as exc:  # noqa: BLE001 — tier bug, degrade
+                    self._note_degradation(
+                        program, tier, NEXT_TIER[tier], exc
+                    )
+                    tier = NEXT_TIER[tier]
+                    continue
+                break
+            if tier == "jit":
                 from repro.machine.jit import run_jit
 
                 return run_jit(
@@ -205,17 +345,20 @@ class Machine:
                     initial_iregs=initial_iregs,
                     initial_fregs=initial_fregs,
                 )
-            from repro.machine.fastpath import run_fast
+            if tier == "fast":
+                from repro.machine.fastpath import run_fast
 
-            return run_fast(
-                self,
-                program,
-                memory,
-                max_instructions=max_instructions,
-                snapshot_interval=snapshot_interval,
-                initial_iregs=initial_iregs,
-                initial_fregs=initial_fregs,
-            )
+                return run_fast(
+                    self,
+                    program,
+                    memory,
+                    max_instructions=max_instructions,
+                    snapshot_interval=snapshot_interval,
+                    initial_iregs=initial_iregs,
+                    initial_fregs=initial_fregs,
+                )
+            # Every functional tier degraded: fall through to the timed
+            # model below — slow, but authoritative and always available.
         cfg = self.config
         if memory is None:
             memory = self.new_memory()

@@ -8,6 +8,7 @@ many tests share them.
 from __future__ import annotations
 
 import hashlib
+import signal
 
 import pytest
 
@@ -21,6 +22,37 @@ from repro.widgetgen.params import GeneratorParams
 def seed_of(tag: str | int) -> HashSeed:
     """Deterministic test seed derived from a tag."""
     return HashSeed(hashlib.sha256(str(tag).encode()).digest())
+
+
+#: Default per-test wall-clock guard for the ``faults`` suite: these tests
+#: deliberately kill and stall worker processes, so a supervision bug shows
+#: up as a hang — the guard turns that into a failure instead of a stuck CI
+#: job.  Override per test with ``@pytest.mark.faults(timeout=N)``.
+FAULTS_TIMEOUT_SECONDS = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Arm a SIGALRM watchdog around every ``faults``-marked test."""
+    marker = item.get_closest_marker("faults")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout = int(marker.kwargs.get("timeout", FAULTS_TIMEOUT_SECONDS))
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"faults test exceeded its {timeout}s watchdog guard "
+            "(supervision path hung)", pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(timeout)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")
