@@ -1,14 +1,34 @@
 """Hash-rate harness for the execution-tier ladder and the mining engine.
 
 Measures end-to-end HashCore hashes/second on every execution tier
-(``jit`` / ``fast`` / ``timed``), in the two regimes that matter:
+(``batch`` / ``jit`` / ``fast`` / ``timed``), in the two regimes that
+matter:
 
 * **cached widget** — repeated hashing of one header (the verifier /
   re-validation / multi-check regime; the widget LRU makes generation and
   compilation one-time costs, so this is "hash/s on the default widget"),
 * **fresh widget** — a new nonce per hash (the mining regime; every
   attempt pays generation + compilation too, which is mode-independent
-  and therefore dilutes the speedup).
+  and therefore dilutes the speedup).  The ``batch`` column runs the
+  mining-loop batch API (``HashCore.hash_batch``); because every nonce
+  selects a distinct widget program, its lanes are singleton groups and
+  the honest expectation is parity with ``jit``, not a SIMD win.
+
+Two microbench sections complete the picture:
+
+* **translation cost** — time-to-first-hash per tier on a *fresh* widget:
+  threaded-handler build (``fast``), cold JIT compile, JIT recompile with
+  a warm shape-template cache (constant rebind only), and batch-handler
+  setup.  This is the cost the shape-template cache attacks.
+* **lockstep ensemble** — where tier 3 genuinely pays off: one program,
+  N perturbed memory images advanced in lockstep
+  (:meth:`Machine.run_lockstep`) vs N scalar JIT runs.  Uses a
+  scaled-down memory geometry so the measurement is arithmetic dispatch,
+  not ``memcpy`` of N full-size images.
+
+The widget LRU is sized to the benchmark's working set (one cached header
+plus every fresh nonce) so the harness measures the tiers, not its own
+cache thrashing; hit rates are recorded in the output.
 
 It also races the persistent :class:`~repro.blockchain.mining_engine.
 MiningEngine` against :func:`~repro.blockchain.miner.mine_header_parallel`
@@ -35,6 +55,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import time
 
 from repro.baselines.sha256d import Sha256d
@@ -45,10 +66,14 @@ from repro.core.hashcore import HashCore
 from repro.core.pow import target_to_compact
 from repro.errors import PowError
 from repro.machine.config import PRESETS, preset
+from repro.machine.jit import clear_template_cache, template_cache_stats
 from repro.widgetgen.params import GeneratorParams
 
-#: Tiers measured, fastest first (matches ``repro.machine.cpu.EXECUTION_MODES``).
-_MODES = ("jit", "fast", "timed")
+#: Tiers measured, fastest first (matches ``repro.machine.cpu.EXECUTION_MODES``
+#: reversed).  ``batch`` in the cached regime is the one-lane tier-3 run —
+#: expected *slower* than ``jit`` (lockstep bookkeeping amortises across
+#: lanes, and a single lane has nothing to amortise over).
+_MODES = ("batch", "jit", "fast", "timed")
 
 #: Nonce budget per header in the engine comparison.  Deliberately small:
 #: the engine exists for the frequent-header-refresh regime (re-timestamped
@@ -174,7 +199,148 @@ def measure_engine(machine_name: str, instructions: int, workers: int,
         "parallel_hash_s": round(hashes / parallel_seconds, 2),
         "engine_adaptive_chunk": report.chunk,
         "engine_batches": report.batches,
+        # Where the workers' attempts actually executed, per machine tier
+        # (all on the fastest available tier on a healthy run).
+        "engine_tier_runs": report.tier_runs,
         "speedup": round(parallel_seconds / engine_seconds, 2),
+    }
+
+
+def measure_translation(machine_name: str, instructions: int,
+                        repeats: int = 5) -> dict:
+    """Time-to-first-hash translation cost per tier, on *fresh* widgets.
+
+    This is the latency a miner pays before the first nonce of a new
+    widget can execute: building threaded handlers (``fast``), compiling
+    specialized Python source (``jit``, cold), recompiling a program
+    whose IR *shape* is already in the process-wide template cache
+    (constant rebind only — the cost the shape-template cache reduces a
+    cold compile to), and building the vectorised step handlers
+    (``batch``).  Medians over ``repeats`` distinct widgets.
+    """
+    core = HashCore(machine=preset(machine_name),
+                    params=_params(instructions), widget_cache_size=0)
+    fast_ms: list[float] = []
+    jit_cold_ms: list[float] = []
+    jit_rebind_ms: list[float] = []
+    batch_ms: list[float] = []
+    for rep in range(repeats):
+        program = core.widget_for(
+            core.seed_of(b"bench-translation-%d" % rep)
+        ).program
+        clear_template_cache()
+        start = time.perf_counter()
+        program.fast_handlers()
+        fast_ms.append((time.perf_counter() - start) * 1e3)
+        start = time.perf_counter()
+        program.jit_code()
+        jit_cold_ms.append((time.perf_counter() - start) * 1e3)
+        # Same program, shape now cached: codegen + exec are skipped and
+        # only the constant slots are rebound.
+        program.invalidate_code()
+        start = time.perf_counter()
+        program.jit_code()
+        jit_rebind_ms.append((time.perf_counter() - start) * 1e3)
+        start = time.perf_counter()
+        program.batch_code()
+        batch_ms.append((time.perf_counter() - start) * 1e3)
+    cold = statistics.median(jit_cold_ms)
+    rebind = statistics.median(jit_rebind_ms)
+    return {
+        "repeats": repeats,
+        "fast_build_ms": round(statistics.median(fast_ms), 3),
+        "jit_compile_ms": round(cold, 3),
+        "jit_template_rebind_ms": round(rebind, 3),
+        "jit_template_speedup": round(cold / rebind, 1) if rebind else None,
+        "batch_setup_ms": round(statistics.median(batch_ms), 3),
+        "template_cache": template_cache_stats(),
+    }
+
+
+def measure_ensemble(machine_name: str, instructions: int, lanes: int,
+                     repeats: int = 3) -> dict:
+    """Lockstep-ensemble amortisation: one program, ``lanes`` memories.
+
+    This is the regime tier 3 exists for — the *same* widget advanced
+    over N perturbed memory images in one vectorised dispatch
+    (:meth:`Machine.run_lockstep`) vs N scalar runs.  Mining cannot
+    reach it (each nonce selects a distinct program; see
+    ``fresh_widget``), but ensemble re-verification and experiment sweeps
+    can.  The memory geometry is scaled down so the measurement is
+    lockstep dispatch, not ``memcpy`` of N full-size images.
+
+    Both scalar baselines are reported: lockstep amortisation beats the
+    threaded fast interpreter, while the scalar JIT (whole basic blocks
+    fused into single Python functions) keeps a per-instruction edge
+    that widget-sized divergence prevents the masked engine from
+    recovering — ``speedup``/``speedup_vs_fast`` quantify both honestly.
+    """
+    import numpy as np
+
+    cfg = preset(machine_name).scaled_memory(65536)
+    core = HashCore(machine=cfg, params=_params(instructions))
+    widget = core.widget_for(core.seed_of(b"bench-ensemble"))
+    program = widget.program
+    machine = core.machine
+    fuse = int(widget.spec.meta.get("fuse", 10_000_000))
+    interval = widget.spec.snapshot_interval
+
+    base = machine.new_memory()
+    for directive in widget.spec.plan.directives():
+        directive.apply(base)
+    pristine = np.array(base.np_words(), dtype=np.uint64)
+    perturb = np.arange(lanes, dtype=np.uint64)
+
+    program.batch_code()  # setup off the clock — it is measured above
+    program.jit_code()
+    program.fast_handlers()
+
+    def fresh_memories():
+        memories = []
+        for lane in range(lanes):
+            memory = machine.new_memory()
+            row = np.asarray(memory.np_words())
+            row[:] = pristine
+            row[0] += perturb[lane]
+            memories.append(memory)
+        return memories
+
+    batch_seconds = jit_seconds = fast_seconds = float("inf")
+    retired = 0
+    for _ in range(repeats):
+        mem2d = np.tile(pristine, (lanes, 1))
+        mem2d[:, 0] += perturb  # make the lanes distinct executions
+        start = time.perf_counter()
+        results = machine.run_lockstep(
+            program, mem2d, max_instructions=fuse,
+            snapshot_interval=interval,
+        )
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+        retired = sum(r.counters.retired for r in results)
+
+        scalar = {}
+        for mode in ("jit", "fast"):
+            memories = fresh_memories()
+            start = time.perf_counter()
+            for memory in memories:
+                machine.run(program, memory, max_instructions=fuse,
+                            snapshot_interval=interval, mode=mode)
+            scalar[mode] = time.perf_counter() - start
+        jit_seconds = min(jit_seconds, scalar["jit"])
+        fast_seconds = min(fast_seconds, scalar["fast"])
+    return {
+        "lanes": lanes,
+        "memory_words": cfg.memory_words,
+        "repeats": repeats,
+        "ensemble_retired": retired,
+        "batch_seconds": round(batch_seconds, 4),
+        "scalar_jit_seconds": round(jit_seconds, 4),
+        "scalar_fast_seconds": round(fast_seconds, 4),
+        "ns_per_lane_instr_batch": round(batch_seconds / retired * 1e9, 1),
+        "ns_per_instr_jit": round(jit_seconds / retired * 1e9, 1),
+        "ns_per_instr_fast": round(fast_seconds / retired * 1e9, 1),
+        "speedup": round(jit_seconds / batch_seconds, 2),
+        "speedup_vs_fast": round(fast_seconds / batch_seconds, 2),
     }
 
 
@@ -186,10 +352,20 @@ def measure(machine_name: str, instructions: int, hashes: int,
     # (forked children would repay them in copy-on-write page faults).
     engine = measure_engine(machine_name, instructions, workers, headers,
                             repeats=3)
+    translation = measure_translation(machine_name, instructions)
+    ensemble = measure_ensemble(machine_name, instructions, lanes=256)
     header = b"bench-header"
+    # Size the widget LRU to the working set — the cached header plus
+    # every fresh nonce a core will see — so the harness measures the
+    # execution tiers, not its own cache thrashing (the default capacity
+    # of 16 thrashed here: every fresh-regime pass evicted the cached
+    # widget and re-missed its own nonces).
+    working_set = 1 + hashes * repeats
+    cache_size = max(HashCore.DEFAULT_WIDGET_CACHE_SIZE, working_set)
     cores = {
         mode: HashCore(machine=preset(machine_name),
-                       params=_params(instructions), mode=mode)
+                       params=_params(instructions), mode=mode,
+                       widget_cache_size=cache_size)
         for mode in _MODES
     }
     # Warm every widget cache and record the widget's true dynamic size.
@@ -209,7 +385,25 @@ def measure(machine_name: str, instructions: int, hashes: int,
             lambda i, c=core: c.hash(b"bench-nonce-%d" % i), hashes, repeats
         )
         for mode, core in cores.items()
+        if mode != "batch"
     }
+    # The batch column of the fresh regime is the mining batch API — the
+    # path the engine workers actually take.  Every nonce selects a
+    # distinct program, so its lanes are singleton groups: parity with
+    # the scalar jit column is the honest result, and any gap is the
+    # batch API's bookkeeping overhead.
+    batch_fresh = 0.0
+    for rep in range(repeats):
+        datas = [
+            b"bench-batch-nonce-%d" % (rep * hashes + i)
+            for i in range(hashes)
+        ]
+        start = time.perf_counter()
+        cores["batch"].hash_batch(datas)
+        batch_fresh = max(
+            batch_fresh, hashes / (time.perf_counter() - start)
+        )
+    fresh["batch"] = batch_fresh
     sha_rate = _best_rate(
         lambda i, s=Sha256d(): s.hash(header + i.to_bytes(8, "little")),
         50_000, repeats,
@@ -221,7 +415,9 @@ def measure(machine_name: str, instructions: int, hashes: int,
         "widget_retired": retired,
         "hashes_per_repeat": hashes,
         "repeats": repeats,
+        "widget_cache_size": cache_size,
         "cached_widget": {
+            "batch_hash_s": round(cached["batch"], 2),
             "jit_hash_s": round(cached["jit"], 2),
             "fast_hash_s": round(cached["fast"], 2),
             "timed_hash_s": round(cached["timed"], 2),
@@ -229,15 +425,20 @@ def measure(machine_name: str, instructions: int, hashes: int,
             "speedup": round(cached["jit"] / cached["timed"], 2),
         },
         "fresh_widget": {
+            "batch_hash_s": round(fresh["batch"], 2),
             "jit_hash_s": round(fresh["jit"], 2),
             "fast_hash_s": round(fresh["fast"], 2),
             "timed_hash_s": round(fresh["timed"], 2),
+            "batch_vs_jit": round(fresh["batch"] / fresh["jit"], 2),
             "jit_vs_fast": round(fresh["jit"] / fresh["fast"], 2),
             "speedup": round(fresh["jit"] / fresh["timed"], 2),
         },
+        "translation_cost": translation,
+        "batch_ensemble": ensemble,
         # Widget-LRU + per-program code-cache counters after the cached and
         # fresh runs above (the jit core; every core shares the same shape).
         "cache_stats": cores["jit"].cache_stats(),
+        "batch_cache_stats": cores["batch"].cache_stats(),
         "engine_vs_parallel": engine,
         "sha256d_hash_s": round(sha_rate),
         # The headline number: fastest tier vs timed-path hash/s on the

@@ -1,10 +1,10 @@
 """Hash-rate regression gate.
 
 Re-measures the cached-widget hash rate of the accelerated execution tiers
-(``fast`` and ``jit``) and compares each against the committed
-``BENCH_hashrate.json``.  Exits non-zero when either tier has lost more
-than ``--threshold`` (default 20%) of its committed rate — the cheap guard
-against silently pessimising the hot paths.
+(``fast``, ``jit`` and the tier-3 ``batch`` engine) and compares each
+against the committed ``BENCH_hashrate.json``.  Exits non-zero when any
+tier has lost more than ``--threshold`` (default 20%) of its committed
+rate — the cheap guard against silently pessimising the hot paths.
 
 Only the cached-widget regime is gated: it isolates execution speed from
 widget generation/compilation (which every tier pays identically), so it
@@ -43,8 +43,10 @@ from repro.core.hashcore import HashCore  # noqa: E402
 from repro.machine.config import PRESETS, preset  # noqa: E402
 
 #: Tiers the gate protects (the timed path is the reference model, not a
-#: perf artifact, so it is deliberately not gated).
-_GATED_MODES = ("fast", "jit")
+#: perf artifact, so it is deliberately not gated).  ``batch`` here is the
+#: one-lane tier-3 run — slower than ``jit`` by design, but still a hot
+#: path (the ladder's top rung) whose cliff-regressions this catches.
+_GATED_MODES = ("fast", "jit", "batch")
 
 
 def measure_cached(machine_name: str, instructions: int, hashes: int,

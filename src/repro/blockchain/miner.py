@@ -84,15 +84,35 @@ def _pool_init(factory: Callable[[], PowFunction]) -> None:
     _POOL_POW = factory()
 
 
+#: Nonces per ``hash_batch`` dispatch in :func:`_search_range` when the
+#: PoW function exposes a batch API (HashCore does).
+_SEARCH_BATCH = 16
+
+
 def _search_range(args) -> tuple[int, bytes] | None:
-    """Worker: scan one nonce range (module-level for pickling)."""
+    """Worker: scan one nonce range (module-level for pickling).
+
+    PoW functions exposing ``hash_batch`` get the range in
+    ``_SEARCH_BATCH``-nonce slices — one dispatch per slice amortises
+    call overhead and lets the batch API group nonces sharing a widget
+    program onto the tier-3 lockstep engine."""
     header_bytes, start, count, target = args
     pow_fn = _POOL_POW
     header = BlockHeader.deserialize(header_bytes)
-    for nonce in range(start, start + count):
-        digest = pow_fn.hash(header.with_nonce(nonce).serialize())
-        if meets_target(digest, target):
-            return nonce, digest
+    hash_batch = getattr(pow_fn, "hash_batch", None)
+    nonce = start
+    end = start + count
+    while nonce < end:
+        sub = range(nonce, min(nonce + _SEARCH_BATCH, end))
+        nonce = sub.stop
+        datas = [header.with_nonce(n).serialize() for n in sub]
+        if hash_batch is not None:
+            digests = hash_batch(datas)
+        else:
+            digests = [pow_fn.hash(data) for data in datas]
+        for n, digest in zip(sub, digests):
+            if meets_target(digest, target):
+                return n, digest
     return None
 
 

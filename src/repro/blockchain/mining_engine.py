@@ -81,6 +81,11 @@ _WORKER_FAULTS = None
 _CANCEL_POLL_HASHES = 16
 _CANCEL_POLL_SECONDS = 0.02
 
+#: Nonces handed to ``PowFunction.hash_batch`` per dispatch when the PoW
+#: function exposes a batch API.  Matches the cancel-poll cadence so
+#: batching never lengthens the cancellation latency.
+_BATCH_NONCES = 16
+
 #: Derived watchdog deadline: never below the floor (covers pool re-init,
 #: PoW construction in the initializer and first-chunk jitter), otherwise
 #: this many times the EMA-predicted chunk duration.
@@ -142,6 +147,13 @@ def _engine_search(args) -> tuple:
     into its hashrate/health report.  A nonce whose hash evaluation raises
     a library error (fuse trip, generator failure) is counted as poisoned
     and skipped; it never takes the batch down.
+
+    When the PoW function exposes ``hash_batch`` (HashCore does), the
+    range is scanned ``_BATCH_NONCES`` nonces per dispatch — one call
+    amortises dispatch overhead and lets the batch API group any nonces
+    that share a widget program onto the tier-3 lockstep engine.  A batch
+    that raises is replayed nonce-by-nonce so a single poisoned seed
+    still poisons only itself.
     """
     header_bytes, start, count, target, seq = args
     pow_fn = _WORKER_POW
@@ -156,33 +168,51 @@ def _engine_search(args) -> tuple:
         return (None, None, 0, 0, time.perf_counter() - began, pid, True,
                 None)
     header = BlockHeader.deserialize(header_bytes)
+    hash_batch = getattr(pow_fn, "hash_batch", None)
     last_poll = began
     hashes = 0
     poisoned = 0
     found = None
     digest = None
     cancelled = False
-    for nonce in range(start, start + count):
-        if cancel is not None and hashes % _CANCEL_POLL_HASHES == 0:
+    nonce = start
+    end = start + count
+    while nonce < end and found is None:
+        if cancel is not None:
             now = time.perf_counter()
             if now - last_poll >= _CANCEL_POLL_SECONDS:
                 last_poll = now
                 if cancel.is_set():
                     cancelled = True
                     break
-        try:
-            candidate = pow_fn.hash(header.with_nonce(nonce).serialize())
-        except ReproError:
-            # Poisoned seed: this nonce's widget cannot be evaluated
-            # (fuse trip, generator failure).  Skip the seed, keep the
-            # batch — and the engine — alive.
-            poisoned += 1
-            continue
-        hashes += 1
-        if meets_target(candidate, target):
-            found = nonce
-            digest = candidate
-            break
+        sub = range(nonce, min(nonce + _BATCH_NONCES, end))
+        nonce = sub.stop
+        datas = [header.with_nonce(n).serialize() for n in sub]
+        candidates: list[bytes | None] | None = None
+        if hash_batch is not None:
+            try:
+                candidates = hash_batch(datas)
+            except ReproError:
+                candidates = None  # replay below to isolate the bad seed
+        if candidates is None:
+            candidates = []
+            for data in datas:
+                try:
+                    candidates.append(pow_fn.hash(data))
+                except ReproError:
+                    # Poisoned seed: this nonce's widget cannot be
+                    # evaluated (fuse trip, generator failure).  Skip the
+                    # seed, keep the batch — and the engine — alive.
+                    candidates.append(None)
+        for n, candidate in zip(sub, candidates):
+            if candidate is None:
+                poisoned += 1
+                continue
+            hashes += 1
+            if meets_target(candidate, target):
+                found = n
+                digest = candidate
+                break
     stats_fn = getattr(pow_fn, "cache_stats", None)
     stats = stats_fn() if callable(stats_fn) else None
     elapsed = time.perf_counter() - began
@@ -264,6 +294,11 @@ class EngineReport:
     chunk: int
     per_worker: dict[int, WorkerStats] = field(default_factory=dict)
     health: HealthReport = field(default_factory=HealthReport)
+    #: Aggregate widget executions per machine tier across all workers
+    #: (``{"batch": n, "jit": n, "fast": n, "timed": n}``) — shows where
+    #: attempts actually ran after any tier degradations.  Empty when the
+    #: PoW function reports no tier counters (e.g. SHA-256d).
+    tier_runs: dict[str, int] = field(default_factory=dict)
 
     @property
     def hashrate(self) -> float:
@@ -653,6 +688,19 @@ class MiningEngine:
                 aggregate[edge] = aggregate.get(edge, 0) + count
         return aggregate
 
+    def _aggregate_tier_runs(self) -> dict[str, int]:
+        """Sum the workers' latest per-tier execution counters per pid.
+
+        Each worker's ``cache_stats()["tiers"]["runs"]`` is cumulative
+        over the worker process's lifetime, so summing the latest
+        snapshot per pid counts every widget execution exactly once."""
+        aggregate: dict[str, int] = {}
+        for stats in self._stats.values():
+            tiers = (stats.cache_stats or {}).get("tiers") or {}
+            for tier, count in tiers.get("runs", {}).items():
+                aggregate[tier] = aggregate.get(tier, 0) + count
+        return aggregate
+
     def health(self) -> HealthReport:
         """Current supervision counters (lifetime of the engine)."""
         return replace(
@@ -672,6 +720,7 @@ class MiningEngine:
             chunk=self._chunk_size(),
             per_worker=dict(self._stats),
             health=self.health(),
+            tier_runs=self._aggregate_tier_runs(),
         )
 
     def close(self) -> None:

@@ -1,0 +1,662 @@
+"""Tier-3 batch lockstep execution — N widget runs per dispatch step.
+
+The scalar tiers (timed / fast / jit) pay Python dispatch overhead per
+*instruction*.  This tier pays it per *step of N lanes*: registers are
+``(16, N)``-shaped numpy arrays, memories are rows of an ``(N, W)``
+array, and a single dispatch step advances every lane whose pc sits at
+the step's program counter.  The per-step cost is a handful of
+vectorised array operations, so the interpreter overhead is amortised
+1/N — a software analogue of a SIMT warp.
+
+Control flow diverges per lane.  Each lane has its own pc; every step
+the driver picks the **minimum pc over live lanes** and executes that
+instruction under an *active mask* ``pcs == cur``.  Lanes that branch
+elsewhere simply don't participate until the scheduler's min-pc walk
+reaches them again; because laggards (smallest pc) always run first,
+lanes re-join automatically at the first program point they share — the
+convergence rule is "min-pc first", no explicit reconvergence stack
+needed.  Worst case (fully divergent lanes) degenerates to one lane per
+step, i.e. scalar interpretation with masking overhead: batch pays off
+when lanes run the *same program* and mostly agree on direction, which
+is exactly the widget regime (data-dependent short diamonds inside
+long convergent loops).
+
+Lane independence: lanes never share architectural state — each has its
+own registers, memory image, retirement count, snapshot countdown and
+instruction budget.  A lane that executes ``HALT`` (or falls off the
+end) is masked out and the rest continue; a lane that exhausts its
+budget raises :class:`~repro.errors.ExecutionLimitExceeded` — either
+immediately re-raised after the batch drains (default, scalar-parity)
+or collected per lane (``collect_errors=True``).
+
+Bit-identity: every operation reproduces the fast path's semantics on
+uint64 / float64 arrays — including the 128-bit ``MULHI`` via 32-bit
+half decomposition, full-range ``int(f) & MASK64`` truncation via
+``frexp`` (floats up to 1e300 overflow any int64 cast), the FP clamp's
+NaN behaviour through ``np.where`` (NaN compares false → clamps to
+1.0), and strictly sequential VREDUCE summation (``np.sum`` would
+re-associate).  ``tests/test_batch.py`` fuzzes this against the scalar
+tiers across every preset.
+
+numpy is a *gated* dependency: importing this module without numpy
+leaves :func:`compile_batch` raising ``ExecutionError``, which the
+tier ladder treats as a translation failure and degrades to jit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError, ExecutionLimitExceeded
+from repro.isa.program import Program
+from repro.machine.cpu import _SNAP_F, _SNAP_I, ExecutionResult
+from repro.machine.fastpath import PerfCounters  # re-exported convenience
+from repro.machine.memory import Memory
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    np = None
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK53 = 0x1FFFFFFFFFFFFF
+_TWO52 = 1 << 52
+_FP_SCALE = 67108864.0  # 2**26
+_TWO53F = 9007199254740992.0  # 2**53
+
+
+@dataclass(slots=True)
+class BatchCode:
+    """Compiled artifact: one vectorised step handler per pc."""
+
+    handlers: list  #: callable(state, mask) or None (HALT/NOP), by pc
+    ops: list[int]  #: opcode per pc (driver checks HALT before dispatch)
+    #: per-pc: can executing this pc move a lane's pc past the program end
+    #: (fall-through off the last instruction, or a branch/jump whose
+    #: target is the end)?  The driver only scans for finished lanes on
+    #: these pcs.
+    may_exit: list[bool]
+    length: int  #: program length the artifact was compiled against
+
+
+class BatchState:
+    """All-lane architectural state: ``(16, N)`` registers, ``(N, W)`` memory."""
+
+    __slots__ = ("i", "f", "v", "mem", "lanes", "m", "pcs", "n")
+
+    def __init__(self, n_lanes: int, mem2d, mem_mask: int) -> None:
+        self.n = n_lanes
+        self.i = np.zeros((16, n_lanes), dtype=np.uint64)
+        self.f = np.zeros((16, n_lanes), dtype=np.float64)
+        self.v = np.zeros((16, 4, n_lanes), dtype=np.float64)
+        self.mem = mem2d
+        self.lanes = np.arange(n_lanes)
+        self.m = np.uint64(mem_mask)
+        self.pcs = np.zeros(n_lanes, dtype=np.int64)
+
+
+def _clamp(x):
+    """The FP clamp: finite and inside (-1e300, 1e300), else 1.0 (NaN → 1.0)."""
+    return np.where((x > -1e300) & (x < 1e300), x, 1.0)
+
+
+def _mulhi(b, c):
+    """High 64 bits of the 128-bit product, via 32-bit halves."""
+    m32 = np.uint64(0xFFFFFFFF)
+    s32 = np.uint64(32)
+    bl, bh = b & m32, b >> s32
+    cl, ch = c & m32, c >> s32
+    low = bl * cl
+    mid1 = bh * cl
+    mid2 = bl * ch
+    carry = ((low >> s32) + (mid1 & m32) + (mid2 & m32)) >> s32
+    return bh * ch + (mid1 >> s32) + (mid2 >> s32) + carry
+
+
+def _trunc_mod64(f):
+    """``int(f) & MASK64`` for finite float64 of any magnitude.
+
+    ``int()`` truncates toward zero with unbounded precision; floats up
+    to 1e300 make a direct integer cast impossible, so decompose with
+    ``frexp``: ``|f| = m * 2**e`` with the 53-bit mantissa integer
+    ``M = m * 2**53``, then shift ``M`` by ``e - 53`` with uint64
+    wraparound (low 64 bits are all that survive the mask).
+    """
+    af = np.abs(f)
+    m, e = np.frexp(af)
+    mant = (m * _TWO53F).astype(np.uint64)  # exact: integer in [2^52, 2^53)
+    s = e.astype(np.int64) - 53
+    shl = np.clip(s, 0, 63).astype(np.uint64)
+    shr = np.clip(-s, 0, 63).astype(np.uint64)
+    v = np.where(s >= 0, mant << shl, mant >> shr)
+    v = np.where(s >= 64, np.uint64(0), v)  # shifted entirely past bit 63
+    return np.where(f < 0, np.uint64(0) - v, v)
+
+
+def _fixed_to_float(w):
+    """FLOAD mapping: ``((w & MASK53) - TWO52) / FP_SCALE`` (exact)."""
+    return ((w & np.uint64(_MASK53)).astype(np.int64) - _TWO52).astype(
+        np.float64
+    ) / _FP_SCALE
+
+
+def _float_to_fixed(f):
+    """FSTORE mapping: ``(int(f * FP_SCALE) + TWO52) & MASK64``."""
+    return _trunc_mod64(f * _FP_SCALE) + np.uint64(_TWO52)
+
+
+def _compile_one(op: int, a: int, b: int, c: int, imm: int, nxt: int):
+    """Vectorised step handler for one static instruction.
+
+    The handler mutates masked lanes of the state in place; the driver
+    has already advanced ``pcs[mask]`` to the fall-through successor, so
+    only taken branches touch ``pcs`` here.  Returns ``None`` for ops
+    with no architectural effect (NOP, HALT — the driver short-circuits
+    HALT before dispatch).
+    """
+    U = np.uint64
+    IMM64 = U(imm & _MASK64)
+
+    def _set_i(st, mask, value):
+        np.copyto(st.i[a], value, where=mask, casting="unsafe")
+
+    def _set_f(st, mask, value):
+        np.copyto(st.f[a], value, where=mask)
+
+    if op == 0:
+        return lambda st, mask: _set_i(st, mask, st.i[b] + st.i[c])
+    if op == 1:
+        return lambda st, mask: _set_i(st, mask, st.i[b] - st.i[c])
+    if op == 2:
+        return lambda st, mask: _set_i(st, mask, st.i[b] & st.i[c])
+    if op == 3:
+        return lambda st, mask: _set_i(st, mask, st.i[b] | st.i[c])
+    if op == 4:
+        return lambda st, mask: _set_i(st, mask, st.i[b] ^ st.i[c])
+    if op == 5:
+        return lambda st, mask: _set_i(st, mask, st.i[b] << (st.i[c] & U(63)))
+    if op == 6:
+        return lambda st, mask: _set_i(st, mask, st.i[b] >> (st.i[c] & U(63)))
+    if op == 7:
+        return lambda st, mask: _set_i(st, mask, st.i[b] + IMM64)
+    if op == 8:
+        return lambda st, mask: _set_i(st, mask, st.i[b] & IMM64)
+    if op == 9:
+        return lambda st, mask: _set_i(st, mask, st.i[b] | IMM64)
+    if op == 10:
+        return lambda st, mask: _set_i(st, mask, st.i[b] ^ IMM64)
+    if op == 11:
+        sh = U(imm & 63)
+        return lambda st, mask: _set_i(st, mask, st.i[b] << sh)
+    if op == 12:
+        sh = U(imm & 63)
+        return lambda st, mask: _set_i(st, mask, st.i[b] >> sh)
+    if op == 13:
+        return lambda st, mask: _set_i(st, mask, st.i[b])
+    if op == 14:
+        return lambda st, mask: _set_i(st, mask, IMM64)
+    if op == 15:
+        return lambda st, mask: _set_i(st, mask, st.i[b] ^ U(_MASK64))
+    if op == 16:
+        return lambda st, mask: _set_i(
+            st, mask, (st.i[b] < st.i[c]).astype(np.uint64)
+        )
+    if op == 17:
+        return lambda st, mask: _set_i(
+            st, mask, (st.i[b] == st.i[c]).astype(np.uint64)
+        )
+    if op == 18:
+        return lambda st, mask: _set_i(
+            st, mask, np.where(st.i[b] < st.i[c], st.i[b], st.i[c])
+        )
+    if op == 19:
+        return lambda st, mask: _set_i(
+            st, mask, np.where(st.i[b] > st.i[c], st.i[b], st.i[c])
+        )
+    if op == 24:
+        return lambda st, mask: _set_i(st, mask, st.i[b] * st.i[c])
+    if op == 25:
+        return lambda st, mask: _set_i(st, mask, _mulhi(st.i[b], st.i[c]))
+    if op == 26:
+
+        def _div(st, mask):
+            vc = st.i[c]
+            zero = vc == 0
+            safe = np.where(zero, U(1), vc)
+            _set_i(st, mask, np.where(zero, U(_MASK64), st.i[b] // safe))
+
+        return _div
+    if op == 27:
+
+        def _mod(st, mask):
+            vc = st.i[c]
+            zero = vc == 0
+            safe = np.where(zero, U(1), vc)
+            _set_i(st, mask, np.where(zero, U(0), st.i[b] % safe))
+
+        return _mod
+    if op == 32:
+        return lambda st, mask: _set_f(st, mask, _clamp(st.f[b] + st.f[c]))
+    if op == 33:
+        return lambda st, mask: _set_f(st, mask, _clamp(st.f[b] - st.f[c]))
+    if op == 34:
+        return lambda st, mask: _set_f(st, mask, _clamp(st.f[b] * st.f[c]))
+    if op == 35:
+
+        def _fdiv(st, mask):
+            fc = st.f[c]
+            ok = (fc > 1e-300) | (fc < -1e-300)
+            safe = np.where(ok, fc, 1.0)
+            _set_f(st, mask, _clamp(np.where(ok, st.f[b] / safe, 1.0)))
+
+        return _fdiv
+    if op == 36:
+        return lambda st, mask: _set_f(
+            st, mask, _clamp(np.where(st.f[b] < st.f[c], st.f[b], st.f[c]))
+        )
+    if op == 37:
+        return lambda st, mask: _set_f(
+            st, mask, _clamp(np.where(st.f[b] > st.f[c], st.f[b], st.f[c]))
+        )
+    if op == 38:
+        return lambda st, mask: _set_f(
+            st, mask, _clamp(np.where(st.f[b] >= 0.0, st.f[b], -st.f[b]))
+        )
+    if op == 39:
+        return lambda st, mask: _set_f(st, mask, _clamp(-st.f[b]))
+    if op == 40:
+        return lambda st, mask: _set_f(
+            st, mask, _clamp(st.f[a] + st.f[b] * st.f[c])
+        )
+    if op == 41:
+        return lambda st, mask: _set_f(
+            st,
+            mask,
+            _clamp((st.i[b] & U(_MASK53)).astype(np.float64)),
+        )
+    if op == 42:
+        return lambda st, mask: _set_i(st, mask, _trunc_mod64(st.f[b]))
+    if op == 48:
+
+        def _load(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            _set_i(st, mask, st.mem[st.lanes, addr])
+
+        return _load
+    if op == 49:
+
+        def _fload(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            _set_f(st, mask, _fixed_to_float(st.mem[st.lanes, addr]))
+
+        return _fload
+    if op == 52:
+
+        def _store(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            st.mem[st.lanes[mask], addr[mask]] = st.i[a][mask]
+
+        return _store
+    if op == 53:
+
+        def _fstore(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            st.mem[st.lanes[mask], addr[mask]] = _float_to_fixed(st.f[a][mask])
+
+        return _fstore
+    if op in (56, 57, 58, 59):
+
+        def _branch(st, mask):
+            va, vb = st.i[a], st.i[b]
+            if op == 56:
+                taken = va == vb
+            elif op == 57:
+                taken = va != vb
+            elif op == 58:
+                taken = va < vb
+            else:
+                taken = va >= vb
+            st.pcs[mask & taken] = imm
+
+        return _branch
+    if op == 60:
+
+        def _jmp(st, mask):
+            st.pcs[mask] = imm
+
+        return _jmp
+    if op == 61:
+
+        def _loopnz(st, mask):
+            value = st.i[a] - U(1)
+            np.copyto(st.i[a], value, where=mask)
+            st.pcs[mask & (value != 0)] = imm
+
+        return _loopnz
+    if op in (64, 65, 66):
+
+        def _vop(st, mask):
+            if op == 64:
+                value = st.v[b] + st.v[c]
+            elif op == 65:
+                value = st.v[b] * st.v[c]
+            else:
+                value = st.v[a] + st.v[b] * st.v[c]
+            np.copyto(st.v[a], _clamp(value), where=mask)
+
+        return _vop
+    if op == 67:
+
+        def _vload(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            value = np.empty((4, st.n), dtype=np.float64)
+            for k in range(4):
+                value[k] = _fixed_to_float(
+                    st.mem[st.lanes, (addr + U(k)) & st.m]
+                )
+            np.copyto(st.v[a], value, where=mask)
+
+        return _vload
+    if op == 68:
+
+        def _vstore(st, mask):
+            addr = (st.i[b] + IMM64) & st.m
+            rows = st.lanes[mask]
+            cols = addr[mask]
+            va = st.v[a]
+            for k in range(4):
+                st.mem[rows, (cols + U(k)) & st.m] = _float_to_fixed(
+                    va[k][mask]
+                )
+
+        return _vstore
+    if op == 69:
+
+        def _vbroadcast(st, mask):
+            np.copyto(
+                st.v[a], np.broadcast_to(st.f[b], (4, st.n)), where=mask
+            )
+
+        return _vbroadcast
+    if op == 70:
+
+        def _vreduce(st, mask):
+            vb = st.v[b]
+            # Strictly sequential: ((l0 + l1) + l2) + l3, matching the
+            # scalar tiers (np.sum would pairwise-reassociate).
+            total = ((vb[0] + vb[1]) + vb[2]) + vb[3]
+            _set_f(st, mask, _clamp(total))
+
+        return _vreduce
+    # NOP (72), HALT (73) and any other system opcode: no architectural
+    # effect at the handler level.
+    return None
+
+
+_BRANCH_OPS = frozenset((56, 57, 58, 59, 60, 61))
+
+
+def compile_batch(program: Program) -> BatchCode:
+    """Translate ``program`` into vectorised step handlers (one per pc)."""
+    if np is None:
+        raise ExecutionError("batch tier requires numpy")
+    code = program.code_tuples()
+    n = len(code)
+    handlers = [
+        _compile_one(op, a, b, c, imm, pc + 1)
+        for pc, (op, a, b, c, imm) in enumerate(code)
+    ]
+    may_exit = [
+        pc + 1 >= n or (op in _BRANCH_OPS and imm >= n)
+        for pc, (op, _a, _b, _c, imm) in enumerate(code)
+    ]
+    return BatchCode(
+        handlers=handlers, ops=[t[0] for t in code], may_exit=may_exit, length=n
+    )
+
+
+def _as_memory_list(machine, memories, lanes):
+    """Normalise the ``memories``/``lanes`` arguments to a list of Memory."""
+    if memories is None:
+        count = 1 if lanes is None else lanes
+        if count <= 0:
+            raise ExecutionError("lanes must be positive")
+        return [machine.new_memory() for _ in range(count)]
+    if isinstance(memories, Memory):
+        memories = [memories]
+    else:
+        memories = list(memories)
+    if not memories:
+        raise ExecutionError("batch run needs at least one lane")
+    if lanes is not None and lanes != len(memories):
+        raise ExecutionError(
+            f"lanes={lanes} disagrees with {len(memories)} memories"
+        )
+    size = memories[0].size_words
+    if any(m.size_words != size for m in memories):
+        raise ExecutionError("batch lanes must share one memory geometry")
+    return memories
+
+
+def run_batch(
+    machine,
+    program: Program,
+    memories=None,
+    *,
+    lanes: int | None = None,
+    max_instructions: int = 10_000_000,
+    snapshot_interval: int = 0,
+    initial_iregs: list | None = None,
+    initial_fregs: list | None = None,
+    collect_errors: bool = False,
+):
+    """Execute ``program`` on N lanes in lockstep.
+
+    ``memories`` is a :class:`Memory`, a list of per-lane memories, an
+    ``(N, W)`` uint64 ndarray (zero-copy: rows are the lane memories and
+    are mutated in place — the fast path for ensemble callers), or None
+    (``lanes`` fresh machine memories).  Registers start from
+    ``initial_iregs`` / ``initial_fregs`` — a flat list broadcast to all
+    lanes, or a per-lane list of lists.  Returns a list of per-lane
+    :class:`ExecutionResult`, bit-identical to running each lane on the
+    scalar tiers.  Lane memories are written back on completion.
+
+    A lane that exceeds ``max_instructions`` produces an
+    :class:`ExecutionLimitExceeded`; with ``collect_errors=False``
+    (default) the first such error is raised after the batch drains
+    (scalar parity for N=1), with ``collect_errors=True`` the exception
+    object takes that lane's slot in the returned list.
+    """
+    if np is None:
+        raise ExecutionError("batch tier requires numpy")
+    if max_instructions <= 0:
+        raise ExecutionError("max_instructions must be positive")
+    if isinstance(memories, np.ndarray):
+        if memories.ndim != 2 or memories.dtype != np.uint64:
+            raise ExecutionError("ndarray memories must be (N, W) uint64")
+        n_lanes, words = memories.shape
+        if words <= 0 or words & (words - 1):
+            raise ExecutionError("lane memory width must be a power of two")
+        if lanes is not None and lanes != n_lanes:
+            raise ExecutionError(
+                f"lanes={lanes} disagrees with {n_lanes} memory rows"
+            )
+        views = None
+        mem2d = memories
+        mem_mask = words - 1
+        copy_back = False
+    else:
+        mems = _as_memory_list(machine, memories, lanes)
+        n_lanes = len(mems)
+        words = mems[0].size_words
+        mem_mask = mems[0].mask
+        # (N, W) memory image: a zero-copy view for the single-lane case,
+        # a stacked copy (written back at the end) otherwise.
+        views = [m.np_words() for m in mems]
+        if n_lanes == 1:
+            mem2d = views[0].reshape(1, words)
+            copy_back = False
+        else:
+            mem2d = np.stack(views)
+            copy_back = True
+
+    st = BatchState(n_lanes, mem2d, mem_mask)
+    if initial_iregs:
+        if isinstance(initial_iregs[0], (list, tuple)):
+            if len(initial_iregs) != n_lanes:
+                raise ExecutionError("per-lane initial_iregs length mismatch")
+            for lane, regs in enumerate(initial_iregs):
+                if len(regs) != 16:
+                    raise ExecutionError(
+                        "initial register files have wrong length"
+                    )
+                st.i[:, lane] = [v & _MASK64 for v in regs]
+        else:
+            if len(initial_iregs) != 16:
+                raise ExecutionError("initial register files have wrong length")
+            st.i[:] = np.array(
+                [v & _MASK64 for v in initial_iregs], dtype=np.uint64
+            ).reshape(16, 1)
+    if initial_fregs:
+        if isinstance(initial_fregs[0], (list, tuple)):
+            if len(initial_fregs) != n_lanes:
+                raise ExecutionError("per-lane initial_fregs length mismatch")
+            for lane, regs in enumerate(initial_fregs):
+                if len(regs) != 16:
+                    raise ExecutionError(
+                        "initial register files have wrong length"
+                    )
+                st.f[:, lane] = regs
+        else:
+            if len(initial_fregs) != 16:
+                raise ExecutionError("initial register files have wrong length")
+            st.f[:] = np.array(initial_fregs, dtype=np.float64).reshape(16, 1)
+
+    batch = program.batch_code()
+    handlers = batch.handlers
+    ops = batch.ops
+    may_exit = batch.may_exit
+    n = batch.length
+
+    snap_interval = snapshot_interval if snapshot_interval > 0 else 0
+    retired = np.zeros(n_lanes, dtype=np.int64)
+    budget = np.full(n_lanes, max_instructions, dtype=np.int64)
+    snap_countdown = np.full(
+        n_lanes, snap_interval if snap_interval else 0, dtype=np.int64
+    )
+    alive = np.ones(n_lanes, dtype=bool)
+    halted = np.zeros(n_lanes, dtype=bool)
+    errored = np.zeros(n_lanes, dtype=bool)
+    out_chunks: list[list[bytes]] = [[] for _ in range(n_lanes)]
+    snapshots = [0] * n_lanes
+    pack_i = _SNAP_I.pack
+    pack_f = _SNAP_F.pack
+    pcs = st.pcs
+
+    # Hot-path scratch (no per-step allocation) and scalar event bounds:
+    # the global budget / snapshot countdowns decrease by at most one per
+    # step, so a scalar lower bound tells us how many steps are certainly
+    # event-free — the per-lane arrays are only scanned when the bound
+    # runs out, mirroring the scalar tiers' block-stepped driver.
+    mask = np.empty(n_lanes, dtype=bool)
+    mask_i = np.empty(n_lanes, dtype=np.int64)
+    n_alive = n_lanes
+    budget_bound = max_instructions
+    snap_bound = snap_interval if snap_interval else 1 << 62
+    _BIG = 1 << 62
+
+    with np.errstate(all="ignore"):
+        while n_alive:
+            cur = int(np.min(pcs, where=alive, initial=n))
+            if cur >= n:  # every live lane fell off the end: implicit halt
+                halted |= alive
+                alive[:] = False
+                break
+            np.equal(pcs, cur, out=mask)
+            mask &= alive
+            op = ops[cur]
+            if op == 73:  # HALT: retires, consumes neither budget nor tick
+                retired[mask] += 1
+                halted |= mask
+                alive &= ~mask
+                n_alive = int(alive.sum())
+                continue
+            np.copyto(pcs, cur + 1, where=mask)
+            handler = handlers[cur]
+            if handler is not None:
+                handler(st, mask)
+            np.copyto(mask_i, mask, casting="unsafe")
+            retired += mask_i
+            budget -= mask_i
+            if snap_interval:
+                snap_countdown -= mask_i
+                snap_bound -= 1
+                if snap_bound <= 0:
+                    due = mask & (snap_countdown == 0)
+                    if due.any():
+                        for lane in np.nonzero(due)[0]:
+                            chunk = out_chunks[lane]
+                            chunk.append(
+                                pack_i(*(int(x) for x in st.i[:, lane]))
+                            )
+                            chunk.append(
+                                pack_f(*(float(x) for x in st.f[:, lane]))
+                            )
+                            snapshots[lane] += 1
+                        snap_countdown[due] = snap_interval
+                    snap_bound = int(
+                        np.min(snap_countdown, where=alive, initial=_BIG)
+                    )
+            budget_bound -= 1
+            if budget_bound <= 0:
+                # Budget check follows the instruction that exhausted it,
+                # even when it also left the program (scalar parity).
+                exhausted = mask & (budget <= 0)
+                if exhausted.any():
+                    errored |= exhausted
+                    alive &= ~exhausted
+                    n_alive = int(alive.sum())
+                budget_bound = int(np.min(budget, where=alive, initial=_BIG))
+            if may_exit[cur]:
+                fell = alive & (pcs >= n)
+                if fell.any():
+                    halted |= fell
+                    alive &= ~fell
+                    n_alive = int(alive.sum())
+
+    if copy_back:
+        for lane, view in enumerate(views):
+            np.copyto(view, mem2d[lane])
+
+    if not collect_errors and errored.any():
+        raise ExecutionLimitExceeded(
+            f"{program.name}: exceeded {max_instructions} instructions"
+        )
+
+    results: list = []
+    for lane in range(n_lanes):
+        if errored[lane]:
+            results.append(
+                ExecutionLimitExceeded(
+                    f"{program.name}: exceeded {max_instructions} instructions"
+                )
+            )
+            continue
+        chunks = out_chunks[lane]
+        if snap_interval:
+            chunks.append(pack_i(*(int(x) for x in st.i[:, lane])))
+            chunks.append(pack_f(*(float(x) for x in st.f[:, lane])))
+            snapshots[lane] += 1
+        counters = PerfCounters()
+        counters.retired = int(retired[lane])
+        results.append(
+            ExecutionResult(
+                counters=counters,
+                output=b"".join(chunks),
+                iregs=[int(x) for x in st.i[:, lane]],
+                fregs=[float(x) for x in st.f[:, lane]],
+                halted=bool(halted[lane]),
+                snapshots=snapshots[lane],
+            )
+        )
+    return results

@@ -88,13 +88,19 @@ class ExecutionResult:
 #: (authoritative for profiling and every IPC experiment); ``fast`` runs
 #: the threaded-code functional path in :mod:`repro.machine.fastpath`;
 #: ``jit`` runs the tier-2 JIT in :mod:`repro.machine.jit` (programs
-#: translated once into compiled Python segments).  All three produce
-#: bit-identical architectural results; they differ only in throughput.
-EXECUTION_MODES = ("timed", "fast", "jit")
+#: translated once into compiled Python segments); ``batch`` runs the
+#: tier-3 numpy lockstep interpreter in :mod:`repro.machine.batch`
+#: (N lanes per dispatch step).  All tiers produce bit-identical
+#: architectural results; they differ only in throughput.
+EXECUTION_MODES = ("timed", "fast", "jit", "batch")
 
-#: The fastest functional tier currently available — what ``mode="auto"``
-#: resolves to in HashCore and friends.  A future backend (e.g. a
-#: vectorised batch tier) only needs to update this constant.
+#: The fastest functional tier for a *single* run — what ``mode="auto"``
+#: resolves to in HashCore and friends.  This stays ``jit`` even though
+#: the ladder has a batch rung above it: batch amortises dispatch across
+#: lanes, so at N=1 it is strictly slower than the JIT.  Batch execution
+#: pays off through the N-lane entry points
+#: (:func:`repro.machine.batch.run_batch`, ``HashCore.hash_batch``) and
+#: is opt-in per run via ``mode="batch"``.
 FASTEST_MODE = "jit"
 
 
@@ -102,7 +108,7 @@ FASTEST_MODE = "jit"
 #: (compile bug, codegen fault, execution-time error) execution falls to
 #: the next entry instead of dying; ``timed`` is the reference model and
 #: the final rung.
-NEXT_TIER = {"jit": "fast", "fast": "timed"}
+NEXT_TIER = {"batch": "jit", "jit": "fast", "fast": "timed"}
 
 
 def resolve_mode(mode: str, exc: type[Exception] = ExecutionError) -> str:
@@ -165,6 +171,11 @@ class Machine:
         self._degradations: dict[str, int] = {}
         self._widget_degradations: dict[str, dict[str, int]] = {}
         self._degradation_log: list[str] = []
+        # Per-tier dispatch counters: how many runs actually executed on
+        # each tier after translation degradations re-routed them.
+        self._tier_runs: dict[str, int] = {
+            tier: 0 for tier in EXECUTION_MODES
+        }
 
     def new_memory(self) -> Memory:
         """A zeroed memory sized for this machine."""
@@ -203,6 +214,7 @@ class Machine:
                 for name, counts in self._widget_degradations.items()
             },
             "log": list(self._degradation_log),
+            "runs": dict(self._tier_runs),
         }
 
     def run_with_fallback(
@@ -274,6 +286,43 @@ class Machine:
             ) from exc
 
     # ------------------------------------------------------------------
+    def run_lockstep(
+        self,
+        program: Program,
+        memories,
+        *,
+        max_instructions: int = 10_000_000,
+        snapshot_interval: int = 0,
+        initial_iregs=None,
+        initial_fregs=None,
+        collect_errors: bool = False,
+    ) -> list:
+        """Execute ``program`` once per entry of ``memories``, all lanes in
+        lockstep on the tier-3 batch engine (one vectorised dispatch
+        advances every lane at each step).
+
+        The scalar analogue is ``[self.run(program, m, mode="jit") for m
+        in memories]`` and the results are bit-identical; the lockstep
+        form amortises dispatch overhead across lanes.  ``memories`` may
+        be a list of :class:`Memory` objects (copied in and back out) or
+        an ``(N, words)`` uint64 ndarray mutated in place (zero-copy).
+        Translation faults propagate — callers wanting the degrading
+        ladder handle them (see :meth:`HashCore.hash_batch`).
+        """
+        from repro.machine.batch import run_batch
+
+        self._tier_runs["batch"] += 1
+        return run_batch(
+            self,
+            program,
+            memories,
+            max_instructions=max_instructions,
+            snapshot_interval=snapshot_interval,
+            initial_iregs=initial_iregs,
+            initial_fregs=initial_fregs,
+            collect_errors=collect_errors,
+        )
+
     def run(
         self,
         program: Program,
@@ -322,7 +371,9 @@ class Machine:
                     tier = NEXT_TIER[tier]
                     continue
                 try:
-                    if tier == "jit":
+                    if tier == "batch":
+                        program.batch_code()
+                    elif tier == "jit":
                         program.jit_code()
                     else:
                         program.fast_handlers()
@@ -333,9 +384,23 @@ class Machine:
                     tier = NEXT_TIER[tier]
                     continue
                 break
+            if tier == "batch":
+                from repro.machine.batch import run_batch
+
+                self._tier_runs["batch"] += 1
+                return run_batch(
+                    self,
+                    program,
+                    memory,
+                    max_instructions=max_instructions,
+                    snapshot_interval=snapshot_interval,
+                    initial_iregs=initial_iregs,
+                    initial_fregs=initial_fregs,
+                )[0]
             if tier == "jit":
                 from repro.machine.jit import run_jit
 
+                self._tier_runs["jit"] += 1
                 return run_jit(
                     self,
                     program,
@@ -348,6 +413,7 @@ class Machine:
             if tier == "fast":
                 from repro.machine.fastpath import run_fast
 
+                self._tier_runs["fast"] += 1
                 return run_fast(
                     self,
                     program,
@@ -364,6 +430,7 @@ class Machine:
             memory = self.new_memory()
         if max_instructions <= 0:
             raise ExecutionError("max_instructions must be positive")
+        self._tier_runs["timed"] += 1
 
         code = program.code_tuples()
         n = len(code)

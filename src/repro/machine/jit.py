@@ -25,6 +25,19 @@ resulting code objects are cached on the program (alongside
 LRU hits, verification, persistent mining workers — pays the ``compile()``
 cost only once.
 
+Translation itself is amortised across *programs* by a **shape-template
+cache**: generated source never contains data immediates.  Each one is
+abstracted to a ``_K{n}`` slot bound as a default argument of the segment
+or region function that uses it, so the module text depends only on the
+program's *shape* — the ``(op, a, b, c)`` sequence plus branch targets
+(which are structural: they decide leaders, loop nests and guards).  Two
+programs with the same shape share one compiled module; the second one
+skips codegen and ``compile()`` entirely and only re-executes the cheap
+``def`` statements with its own constant vector (default arguments are
+``LOAD_FAST`` at run time, so bound slots cost the same as burned-in
+literals).  The cache is process-wide and LRU-bounded; see
+:func:`template_cache_stats`.
+
 Correctness strategy: the driver loop here is *identical* to the fast
 path's block-stepped loop — the next event (snapshot due, budget
 exhausted) is always a known number of retirements away.  A region is
@@ -43,6 +56,7 @@ register files, memory, snapshots, retired counts and limit errors.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.isa.program import Program
@@ -66,6 +80,52 @@ _TERMINATORS = _BRANCH_OPS | {73}
 _CMP = {56: "==", 57: "!=", 58: "<", 59: ">="}
 #: Negation of each conditional branch — the loop variant's exit test.
 _INV_CMP = {56: "!=", 57: "==", 58: ">=", 59: "<"}
+
+
+def _imm_slot(op: int, imm: int):
+    """The constant-slot value for ops whose immediate is *data*, not
+    control flow, or ``None`` when the op burns no immediate into source.
+
+    This is the single source of truth for slot order and preprocessing:
+    the value returned here is byte-for-byte what the literal emitter
+    would have folded into the text, so binding it as a default argument
+    is semantically identical to burning it in.  Branch targets (ops
+    56-61) are deliberately *not* slots — they shape leaders, loop nests
+    and retirement guards, so they belong to the template key instead.
+    """
+    if op in (8, 9, 10, 14):  # ANDI/ORI/XORI/MOVI fold ``imm & M64``
+        return imm & 0xFFFFFFFFFFFFFFFF
+    if op in (11, 12):  # shift immediates fold ``imm & 63``
+        return imm & 63
+    if op in (7, 48, 49, 52, 53, 67, 68):  # ADDI + memory displacements
+        return imm
+    return None
+
+
+#: Shape-template LRU: module text + compiled ``_bind`` factory keyed by
+#: program shape.  Process-wide (each mining worker warms its own).
+_TEMPLATE_CAPACITY = 256
+_templates: OrderedDict = OrderedDict()
+_template_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def template_cache_stats() -> dict:
+    """Counters for the process-wide JIT shape-template cache."""
+    total = _template_stats["hits"] + _template_stats["misses"]
+    return {
+        "capacity": _TEMPLATE_CAPACITY,
+        "size": len(_templates),
+        "hits": _template_stats["hits"],
+        "misses": _template_stats["misses"],
+        "evictions": _template_stats["evictions"],
+        "hit_rate": _template_stats["hits"] / total if total else 0.0,
+    }
+
+
+def clear_template_cache() -> None:
+    """Drop all cached templates and reset counters (tests, benchmarks)."""
+    _templates.clear()
+    _template_stats.update(hits=0, misses=0, evictions=0)
 
 
 @dataclass(slots=True)
@@ -164,8 +224,15 @@ def _accesses(op: int, a: int, b: int, c: int):
     return ir, iw, fr, fw, vr, vw, mem
 
 
-def _stmt(em: _Emitter, op: int, a: int, b: int, c: int, imm: int) -> None:
-    """Emit the statement(s) for one straight-line (non-terminator) op."""
+def _stmt(
+    em: _Emitter, op: int, a: int, b: int, c: int, imm: int, kname: str | None = None
+) -> None:
+    """Emit the statement(s) for one straight-line (non-terminator) op.
+
+    When ``kname`` is given, data immediates render as that slot name
+    (bound by :func:`_imm_slot`'s value at bind time) instead of a
+    literal, making the emitted text shape-generic.
+    """
     E = em.emit
     if op == 0:
         E(f"i{a} = (i{b} + i{c}) & {_M64}")
@@ -182,21 +249,21 @@ def _stmt(em: _Emitter, op: int, a: int, b: int, c: int, imm: int) -> None:
     elif op == 6:
         E(f"i{a} = i{b} >> (i{c} & 63)")
     elif op == 7:
-        E(f"i{a} = (i{b} + {imm}) & {_M64}")
+        E(f"i{a} = (i{b} + {kname or imm}) & {_M64}")
     elif op == 8:
-        E(f"i{a} = i{b} & {imm & 0xFFFFFFFFFFFFFFFF}")
+        E(f"i{a} = i{b} & {kname or (imm & 0xFFFFFFFFFFFFFFFF)}")
     elif op == 9:
-        E(f"i{a} = i{b} | {imm & 0xFFFFFFFFFFFFFFFF}")
+        E(f"i{a} = i{b} | {kname or (imm & 0xFFFFFFFFFFFFFFFF)}")
     elif op == 10:
-        E(f"i{a} = i{b} ^ {imm & 0xFFFFFFFFFFFFFFFF}")
+        E(f"i{a} = i{b} ^ {kname or (imm & 0xFFFFFFFFFFFFFFFF)}")
     elif op == 11:
-        E(f"i{a} = (i{b} << {imm & 63}) & {_M64}")
+        E(f"i{a} = (i{b} << {kname or (imm & 63)}) & {_M64}")
     elif op == 12:
-        E(f"i{a} = i{b} >> {imm & 63}")
+        E(f"i{a} = i{b} >> {kname or (imm & 63)}")
     elif op == 13:
         E(f"i{a} = i{b}")
     elif op == 14:
-        E(f"i{a} = {imm & 0xFFFFFFFFFFFFFFFF}")
+        E(f"i{a} = {kname or (imm & 0xFFFFFFFFFFFFFFFF)}")
     elif op == 15:
         E(f"i{a} = i{b} ^ {_M64}")
     elif op == 16:
@@ -241,13 +308,13 @@ def _stmt(em: _Emitter, op: int, a: int, b: int, c: int, imm: int) -> None:
     elif op == 42:
         E(f"i{a} = int(f{b}) & {_M64}")
     elif op == 48:
-        E(f"i{a} = W[(i{b} + {imm}) & _mm]")
+        E(f"i{a} = W[(i{b} + {kname or imm}) & _mm]")
     elif op == 49:
-        E(f"f{a} = ((W[(i{b} + {imm}) & _mm] & {_M53}) - {_TWO52}) / {_SCALE}")
+        E(f"f{a} = ((W[(i{b} + {kname or imm}) & _mm] & {_M53}) - {_TWO52}) / {_SCALE}")
     elif op == 52:
-        E(f"W[(i{b} + {imm}) & _mm] = i{a}")
+        E(f"W[(i{b} + {kname or imm}) & _mm] = i{a}")
     elif op == 53:
-        E(f"W[(i{b} + {imm}) & _mm] = (int(f{a} * {_SCALE}) + {_TWO52}) & {_M64}")
+        E(f"W[(i{b} + {kname or imm}) & _mm] = (int(f{a} * {_SCALE}) + {_TWO52}) & {_M64}")
     elif op in (64, 65, 66):
         sign = "+" if op == 64 else "*"
         if op == 66:
@@ -261,7 +328,7 @@ def _stmt(em: _Emitter, op: int, a: int, b: int, c: int, imm: int) -> None:
         E(f"v{a} = [_x if -1e300 < _x < 1e300 else 1.0 for _x in {t}]")
     elif op == 67:
         t = em.temp()
-        E(f"{t} = (i{b} + {imm}) & _mm")
+        E(f"{t} = (i{b} + {kname or imm}) & _mm")
         lanes = ", ".join(
             f"((W[({t} + {k}) & _mm] & {_M53}) - {_TWO52}) / {_SCALE}"
             if k
@@ -271,7 +338,7 @@ def _stmt(em: _Emitter, op: int, a: int, b: int, c: int, imm: int) -> None:
         E(f"v{a} = [{lanes}]")
     elif op == 68:
         t = em.temp()
-        E(f"{t} = (i{b} + {imm}) & _mm")
+        E(f"{t} = (i{b} + {kname or imm}) & _mm")
         E(f"W[{t}] = (int(v{a}[0] * {_SCALE}) + {_TWO52}) & {_M64}")
         for k in (1, 2, 3):
             E(f"W[({t} + {k}) & _mm] = (int(v{a}[{k}] * {_SCALE}) + {_TWO52}) & {_M64}")
@@ -312,12 +379,16 @@ def _exit_stmt(
         E("return -1")
 
 
-def _gen_segment(code: list[tuple], start: int, n: int) -> tuple[str, int, int]:
+def _gen_segment(
+    code: list[tuple], start: int, n: int, knames: list | None = None
+) -> tuple[str, int, int]:
     """Generate one segment function's source.
 
     Returns ``(source, size, next_leader)`` where ``next_leader`` is the pc
     a split (over-long) straight-line run chains into, or ``-1`` when the
-    segment ends at a terminator or falls off the program.
+    segment ends at a terminator or falls off the program.  ``knames``
+    (slot name per pc, or None) switches data immediates to template
+    slots bound as default arguments.
     """
     end = start
     while end < n and code[end][0] not in _TERMINATORS and end - start < MAX_SEGMENT - 1:
@@ -387,7 +458,7 @@ def _gen_segment(code: list[tuple], start: int, n: int) -> tuple[str, int, int]:
     last = end if terminated else end + 1
     for pc in range(start, last):
         op, a, b, c, imm = code[pc]
-        _stmt(body, op, a, b, c, imm)
+        _stmt(body, op, a, b, c, imm, knames[pc] if knames else None)
     if terminated:
         op, a, b, c, imm = code[end]
         _exit_stmt(body, op, a, b, imm, end + 1, flush)
@@ -399,7 +470,11 @@ def _gen_segment(code: list[tuple], start: int, n: int) -> tuple[str, int, int]:
         # Chain into the rest of an over-long straight-line run (if any).
         next_leader = end + 1 if end + 1 < n else -1
 
-    lines = [f"def _s{start}(st):"] + ["    " + line for line in body.lines]
+    binds = ""
+    if knames is not None:
+        used = [knames[pc] for pc in range(start, last) if knames[pc]]
+        binds = "".join(f", {k}=_K[{k[2:]}]" for k in used)
+    lines = [f"def _s{start}(st{binds}):"] + ["    " + line for line in body.lines]
     return "\n".join(lines), size, next_leader
 
 
@@ -408,7 +483,7 @@ class _Bail(Exception):
 
 
 def _gen_region(
-    code: list[tuple], head: int, tail: int
+    code: list[tuple], head: int, tail: int, knames: list | None = None
 ) -> tuple[str, int] | None:
     """``(source, entry_guard)`` for the compiled loop region ``_r{head}``,
     or None.
@@ -512,7 +587,11 @@ def _gen_region(
         wr_f.update(fw)
         wr_v.update(vw)
 
-    lines: list[str] = [f"def _r{head}(st, limit):"]
+    binds = ""
+    if knames is not None:
+        used = [knames[pc] for pc in range(head, tail + 1) if knames[pc]]
+        binds = "".join(f", {k}=_K[{k[2:]}]" for k in used)
+    lines: list[str] = [f"def _r{head}(st, limit{binds}):"]
 
     def out(depth: int, text: str) -> None:
         lines.append("    " * depth + text)
@@ -592,7 +671,7 @@ def _gen_region(
                 i += 1
                 continue
             em = _Emitter()
-            _stmt(em, op, a, b, c, imm)
+            _stmt(em, op, a, b, c, imm, knames[i] if knames else None)
             for line in em.lines:
                 out(depth, line)
             pending += 1
@@ -629,17 +708,23 @@ def _gen_region(
     return "\n".join(lines), guard
 
 
-def compile_jit(program: Program) -> JitCode:
-    """Translate ``program`` into its segment-function table.
+def _build_template(code: list[tuple], n: int) -> tuple:
+    """Generate and compile the shared module for one program shape.
 
-    Segment leaders are instruction 0, every branch target, the successor
-    of every control-transfer instruction, and the continuation points of
-    straight-line runs split at :data:`MAX_SEGMENT`.  All segments compile
-    as one generated module so the per-program ``compile()`` cost is paid
-    once; :meth:`repro.isa.program.Program.jit_code` caches the result.
+    Returns ``(bind, sizes, seg_starts, region_guards, source)`` where
+    ``bind(kvalues)`` executes the (already compiled) function definitions
+    with a concrete constant vector and returns the resulting namespace.
     """
-    code = program.code_tuples()
-    n = len(code)
+    knames: list = [None] * n
+    slot = 0
+    for pc, (op, _a, _b, _c, imm) in enumerate(code):
+        if _imm_slot(op, imm) is not None:
+            knames[pc] = f"_K{slot}"
+            slot += 1
+
+    # Segment leaders: instruction 0, every branch target, the successor of
+    # every control-transfer instruction, and the continuation points of
+    # straight-line runs split at MAX_SEGMENT.
     leaders = {0}
     for pc, (op, _a, _b, _c, imm) in enumerate(code):
         if op in _BRANCH_OPS:
@@ -657,7 +742,7 @@ def compile_jit(program: Program) -> JitCode:
         start = worklist.pop()
         if start in sources:
             continue
-        src, size, next_leader = _gen_segment(code, start, n)
+        src, size, next_leader = _gen_segment(code, start, n, knames)
         sources[start] = src
         sizes[start] = size
         if next_leader >= 0 and next_leader not in sources:
@@ -672,23 +757,67 @@ def compile_jit(program: Program) -> JitCode:
             candidates[imm] = max(candidates.get(imm, -1), pc)
     region_srcs: dict[int, tuple[str, int]] = {}
     for start, end in candidates.items():
-        generated = _gen_region(code, start, end)
+        generated = _gen_region(code, start, end, knames)
         if generated is not None:
             region_srcs[start] = generated
 
     parts = [sources[start] for start in sorted(sources)]
     parts += [region_srcs[start][0] for start in sorted(region_srcs)]
-    module = "\n\n".join(parts)
+    body = "\n\n".join(parts)
+    module = (
+        "def _bind(_K):\n"
+        + "\n".join("    " + ln if ln else ln for ln in body.split("\n"))
+        + "\n    return locals()"
+    )
     namespace: dict = {}
-    exec(compile(module, f"<jit:{program.name}>", "exec"), namespace)
+    exec(compile(module, "<jit-template>", "exec"), namespace)
+    region_guards = {start: guard for start, (_s, guard) in region_srcs.items()}
+    return namespace["_bind"], sizes, sorted(sources), region_guards, module
+
+
+def compile_jit(program: Program) -> JitCode:
+    """Translate ``program`` into its segment-function table.
+
+    Codegen and ``compile()`` run once per *shape* (see module docstring):
+    the program's data constants are extracted with :func:`_imm_slot` and
+    bound into a cached template's functions as default arguments, so
+    fresh widgets matching previously-seen shapes pay only the binding
+    cost.  :meth:`repro.isa.program.Program.jit_code` caches the bound
+    result per program as before.
+    """
+    code = program.code_tuples()
+    n = len(code)
+    key = tuple(
+        (op, a, b, c, imm) if op in _BRANCH_OPS else (op, a, b, c)
+        for op, a, b, c, imm in code
+    )
+    entry = _templates.get(key)
+    if entry is None:
+        _template_stats["misses"] += 1
+        entry = _build_template(code, n)
+        _templates[key] = entry
+        if len(_templates) > _TEMPLATE_CAPACITY:
+            _templates.popitem(last=False)
+            _template_stats["evictions"] += 1
+    else:
+        _template_stats["hits"] += 1
+        _templates.move_to_end(key)
+
+    bind, sizes, seg_starts, region_guards, module = entry
+    kvalues = [
+        v
+        for op, _a, _b, _c, imm in code
+        if (v := _imm_slot(op, imm)) is not None
+    ]
+    namespace = bind(kvalues)
     funcs: list = [None] * n
     regions: list = [None] * n
-    for start in sources:
+    for start in seg_starts:
         funcs[start] = namespace[f"_s{start}"]
-    for start, (_src, guard) in region_srcs.items():
+    for start, guard in region_guards.items():
         regions[start] = (namespace[f"_r{start}"], guard)
     return JitCode(
-        funcs=funcs, sizes=sizes, regions=regions, length=n, source=module
+        funcs=funcs, sizes=list(sizes), regions=regions, length=n, source=module
     )
 
 

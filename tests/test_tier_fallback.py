@@ -174,4 +174,5 @@ class TestHashCoreSelfHealing:
         stats = core.cache_stats()
         assert stats["tiers"] == {
             "degradations": {}, "widgets": {}, "log": [],
+            "runs": {"timed": 0, "fast": 0, "jit": 0, "batch": 0},
         }
