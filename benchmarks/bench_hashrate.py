@@ -224,6 +224,11 @@ def measure_translation(machine_name: str, instructions: int,
     jit_cold_ms: list[float] = []
     jit_rebind_ms: list[float] = []
     batch_ms: list[float] = []
+    # clear_template_cache() zeroes the process-wide counters at the top
+    # of every rep, so template_cache_stats() taken once at the end would
+    # describe only the *last* rep (hits=1, misses=1) — accumulate each
+    # rep's counters instead so the JSON reflects the whole measured run.
+    cache_totals = {"hits": 0, "misses": 0, "evictions": 0}
     for rep in range(repeats):
         program = core.widget_for(
             core.seed_of(b"bench-translation-%d" % rep)
@@ -244,8 +249,13 @@ def measure_translation(machine_name: str, instructions: int,
         start = time.perf_counter()
         program.batch_code()
         batch_ms.append((time.perf_counter() - start) * 1e3)
+        rep_stats = template_cache_stats()
+        for key in cache_totals:
+            cache_totals[key] += rep_stats[key]
     cold = statistics.median(jit_cold_ms)
     rebind = statistics.median(jit_rebind_ms)
+    lookups = cache_totals["hits"] + cache_totals["misses"]
+    final = template_cache_stats()
     return {
         "repeats": repeats,
         "fast_build_ms": round(statistics.median(fast_ms), 3),
@@ -253,7 +263,15 @@ def measure_translation(machine_name: str, instructions: int,
         "jit_template_rebind_ms": round(rebind, 3),
         "jit_template_speedup": round(cold / rebind, 1) if rebind else None,
         "batch_setup_ms": round(statistics.median(batch_ms), 3),
-        "template_cache": template_cache_stats(),
+        "template_cache": {
+            "capacity": final["capacity"],
+            "size": final["size"],
+            "hits": cache_totals["hits"],
+            "misses": cache_totals["misses"],
+            "evictions": cache_totals["evictions"],
+            "hit_rate": round(cache_totals["hits"] / lookups, 4)
+            if lookups else 0.0,
+        },
     }
 
 

@@ -1,0 +1,153 @@
+"""Block-propagation benchmark: flood vs gossip vs compact relay.
+
+Runs the same seeded chaos scenario family at several network sizes under
+each relay protocol and records the measured propagation cost —
+block-relay messages per block, modelled wire bytes per block, and the
+tick at which the network converged — next to the closed-form prediction
+from :func:`repro.blockchain.network.relay_traffic_model`.
+
+Every run is a full :class:`~repro.blockchain.sim.ChaosRunner` simulation
+(real consensus validation on every node), so the numbers are *measured*
+protocol behaviour, not model output.  The scenarios are deterministic:
+re-running this benchmark on unchanged code reproduces the committed
+``BENCH_propagation.json`` exactly, which is what lets
+``check_regression.py`` gate on it without timing noise.
+
+Flood is O(n²) messages per block, so it is only run up to
+``--flood-cap`` nodes (default 250); at 1000 nodes one flood block would
+cost ~10⁶ messages and teach us nothing the 250-node point does not.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_propagation.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.blockchain.faults import LinkFaults, Scenario
+from repro.blockchain.network import relay_traffic_model
+from repro.blockchain.sim import ChaosRunner
+
+#: Network sizes the benchmark sweeps.
+DEFAULT_SIZES = (25, 100, 250, 1000)
+
+#: Relay protocols compared at every size (flood subject to the cap).
+RELAYS = ("flood", "gossip", "compact")
+
+#: Largest network flood is run at by default.
+DEFAULT_FLOOD_CAP = 250
+
+
+def propagation_scenario(n_nodes: int, seed: int = 42) -> Scenario:
+    """The benchmark's scenario family: light faults (1% drop, one tick
+    of jitter), steady mining, and enough transaction load that compact
+    relay has a mempool to reconstruct from.
+
+    The 1000-node point mines fewer blocks over a shorter run — the
+    per-block metrics are ratios, so fewer samples cost precision we do
+    not need while saving minutes of wall clock.
+    """
+    big = n_nodes >= 1000
+    return Scenario(
+        seed=seed,
+        n_nodes=n_nodes,
+        ticks=200 if big else 240,
+        mine_prob=0.08 if big else 0.15,
+        mine_until=120 if big else 160,
+        link=LinkFaults(delay=1, jitter=1, drop=0.01, duplicate=0.0),
+        txs_per_block=2,
+        tx_every=2,
+        announce_every=8,
+    )
+
+
+def run_one(n_nodes: int, relay: str, seed: int) -> dict:
+    """One measured (size, relay) point plus its analytic prediction."""
+    scenario = propagation_scenario(n_nodes, seed).with_relay(relay)
+    started = time.perf_counter()
+    report = ChaosRunner(scenario).run()
+    elapsed = time.perf_counter() - started
+    model = relay_traffic_model(n_nodes, relay, scenario.fanout)
+    return {
+        "n_nodes": n_nodes,
+        "relay": relay,
+        "fanout": report.traffic["fanout"],
+        "blocks_mined": report.blocks_mined,
+        "messages_per_block": report.traffic["messages_per_block"],
+        "bytes_per_block": report.traffic["bytes_per_block"],
+        "by_category": report.traffic["by_category"],
+        "converged": report.converged,
+        "converged_tick": report.converged_tick,
+        "violations": len(report.violations),
+        "model_messages_per_block": model.messages_per_block,
+        "model_hops": model.hops,
+        "elapsed_s": round(elapsed, 2),
+    }
+
+
+def run_benchmark(sizes=DEFAULT_SIZES, flood_cap=DEFAULT_FLOOD_CAP,
+                  seed: int = 42) -> dict:
+    rows = []
+    for n_nodes in sizes:
+        for relay in RELAYS:
+            if relay == "flood" and n_nodes > flood_cap:
+                continue
+            row = run_one(n_nodes, relay, seed)
+            rows.append(row)
+            print(f"  n={n_nodes:>4} {relay:>7}: "
+                  f"{row['messages_per_block']:>9.1f} msg/blk  "
+                  f"{row['bytes_per_block']:>11.1f} B/blk  "
+                  f"converged@{row['converged_tick']}  "
+                  f"[{row['elapsed_s']:.1f}s]")
+
+    by_key = {(r["n_nodes"], r["relay"]): r for r in rows}
+    summary = {}
+    for n_nodes in sizes:
+        flood = by_key.get((n_nodes, "flood"))
+        gossip = by_key.get((n_nodes, "gossip"))
+        compact = by_key.get((n_nodes, "compact"))
+        if flood and gossip:
+            summary[f"msg_reduction_gossip_n{n_nodes}"] = round(
+                flood["messages_per_block"] / gossip["messages_per_block"], 2
+            )
+        if flood and compact:
+            summary[f"byte_reduction_compact_n{n_nodes}"] = round(
+                flood["bytes_per_block"] / compact["bytes_per_block"], 2
+            )
+    return {
+        "benchmark": "block-propagation",
+        "seed": seed,
+        "flood_cap": flood_cap,
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_propagation.json"))
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES))
+    parser.add_argument("--flood-cap", type=int, default=DEFAULT_FLOOD_CAP,
+                        help="largest network flood relay is run at")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    print(f"propagation sweep: sizes {args.sizes}, flood cap "
+          f"{args.flood_cap}, seed {args.seed}")
+    result = run_benchmark(tuple(args.sizes), args.flood_cap, args.seed)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for key, value in sorted(result["summary"].items()):
+        print(f"  {key}: {value}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

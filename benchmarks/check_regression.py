@@ -19,6 +19,15 @@ the same warmed nonce range.  Supervision must be near-free on the happy
 path — the supervised loop may not fall more than
 ``--supervision-threshold`` (default 10%) below the bare loop.
 
+A third gate protects *propagation efficiency*: when a committed
+``BENCH_propagation.json`` exists, the 100-node gossip scenario is
+re-simulated and fails the gate if its block-relay messages-per-block
+exceed the committed figure by more than ``--propagation-threshold``
+(default 20%) or the run no longer converges inside the quiet window.
+Unlike the wall-clock gates this one is deterministic — the chaos
+simulation is seeded — so any drift is a real protocol change, not
+measurement noise.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -130,6 +139,33 @@ def measure_supervision_overhead(
     return rates
 
 
+def check_propagation(committed_path: pathlib.Path, threshold: float,
+                      n_nodes: int = 100, relay: str = "gossip") -> bool:
+    """Deterministically re-simulate the gated propagation point and
+    compare against the committed artifact.  Returns False on failure."""
+    from bench_propagation import run_one
+
+    committed = json.loads(committed_path.read_text())
+    row = next(
+        (r for r in committed.get("rows", [])
+         if r["n_nodes"] == n_nodes and r["relay"] == relay),
+        None,
+    )
+    if row is None:
+        print(f"{committed_path} has no n={n_nodes} {relay} row — "
+              f"regenerate it with benchmarks/bench_propagation.py")
+        return False
+    fresh = run_one(n_nodes, relay, committed.get("seed", 42))
+    old, new = row["messages_per_block"], fresh["messages_per_block"]
+    growth = new / old - 1.0
+    ok = growth <= threshold and fresh["converged"]
+    print(f"propagation n={n_nodes} {relay}: committed {old:.1f} msg/blk, "
+          f"fresh {new:.1f} msg/blk ({growth:+.1%}), "
+          f"converged={fresh['converged']}  "
+          f"{'ok' if ok else 'FAIL'}")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--committed", type=pathlib.Path,
@@ -140,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--supervision-threshold", type=float, default=0.10,
                         help="maximum tolerated supervised-vs-bare worker "
                              "loop slowdown (0.10 = 10%%)")
+    parser.add_argument("--propagation", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_propagation.json"),
+                        help="committed propagation artifact (gate skipped "
+                             "when absent)")
+    parser.add_argument("--propagation-threshold", type=float, default=0.20,
+                        help="maximum tolerated messages-per-block growth "
+                             "at the gated 100-node gossip point")
     parser.add_argument("--machine", choices=sorted(PRESETS), default=None,
                         help="machine preset (default: the committed one)")
     parser.add_argument("--instructions", type=int, default=None,
@@ -190,9 +233,17 @@ def main(argv: list[str] | None = None) -> int:
           f"({-drop:+.1%}, budget {args.supervision_threshold:.0%})  "
           f"{verdict}")
 
+    if args.propagation.exists():
+        failed |= not check_propagation(
+            args.propagation, args.propagation_threshold
+        )
+    else:
+        print(f"no committed propagation baseline at {args.propagation}; "
+              f"propagation gate skipped")
+
     if failed:
-        print(f"regression gate FAILED: a tier dropped more than "
-              f"{args.threshold:.0%} below {args.committed}")
+        print(f"regression gate FAILED: a gated metric regressed past its "
+              f"threshold (see above)")
         return 1
     print("regression gate passed")
     return 0

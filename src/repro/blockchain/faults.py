@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
 
+from repro.blockchain.gossip import RELAY_MODES
 from repro.errors import ChainError
 from repro.rng import Xoshiro256, splitmix64
 
@@ -159,8 +160,31 @@ class Scenario:
     #: waits ``N * request_backoff`` ticks).
     request_retries: int = 6
     request_backoff: int = 2
+    #: Block relay protocol: ``flood`` (epidemic full-block forwarding,
+    #: O(n²) messages per block), ``gossip`` (header-first announce to
+    #: ~√N seeded peers, body pulled once), or ``compact`` (gossip with
+    #: short-tx-id bodies reconstructed from the receiver's tx pool).
+    relay: str = "flood"
+    #: Relay fanout for gossip/compact; 0 derives ~√N from ``n_nodes``.
+    fanout: int = 0
+    #: Pool transactions a miner packs per block (beyond the coinbase).
+    #: 0 disables transaction traffic entirely (coinbase-only bodies).
+    txs_per_block: int = 0
+    #: Payload bytes per generated transaction.
+    tx_size: int = 96
+    #: A new transaction enters the network every ``tx_every`` ticks
+    #: (at a seeded origin node) while mining is active.
+    tx_every: int = 4
 
     def __post_init__(self) -> None:
+        if self.relay not in RELAY_MODES:
+            raise ChainError(f"relay must be one of {RELAY_MODES}")
+        if self.fanout < 0:
+            raise ChainError("fanout must be >= 0 (0 = auto ~sqrt(N))")
+        if self.txs_per_block < 0 or self.tx_size < 8 or self.tx_every < 1:
+            raise ChainError(
+                "txs_per_block must be >= 0, tx_size >= 8, tx_every >= 1"
+            )
         if self.n_nodes < 2:
             raise ChainError("chaos scenarios need >= 2 honest nodes")
         if not 0.0 <= self.mine_prob <= 1.0:
@@ -249,6 +273,14 @@ class Scenario:
     def with_seed(self, seed: int) -> "Scenario":
         return replace(self, seed=seed)
 
+    def with_relay(self, relay: str, fanout: int | None = None) -> "Scenario":
+        """Same schedule under a different propagation protocol — the
+        apples-to-apples comparison the propagation benchmark runs."""
+        return replace(
+            self, relay=relay,
+            fanout=self.fanout if fanout is None else fanout,
+        )
+
 
 def random_scenario(seed: int) -> Scenario:
     """Fuzz a bounded random scenario from one seed (soak-suite driver).
@@ -289,6 +321,11 @@ def random_scenario(seed: int) -> Scenario:
     byzantine: tuple[ByzantinePeer, ...] = ()
     if rng.random() < 0.5:
         byzantine = (ByzantinePeer(every=rng.randint(5, 9)),)
+    # Propagation corners: every relay protocol under every fault mix,
+    # fanouts from degenerate (1) past √N, with and without tx traffic.
+    relay = rng.choice(RELAY_MODES)
+    fanout = rng.randint(0, 3)  # 0 = auto ~sqrt(N)
+    txs_per_block = rng.randint(1, 3) if rng.random() < 0.5 else 0
     heal = max(
         [p.end for p in partitions] + [c.restart_at for c in crashes] + [0]
     )
@@ -305,4 +342,7 @@ def random_scenario(seed: int) -> Scenario:
         mine_until=mine_until,
         convergence_ticks=96,
         retarget_interval=16 if rng.random() < 0.3 else 10_000,
+        relay=relay,
+        fanout=fanout,
+        txs_per_block=txs_per_block,
     )

@@ -1,0 +1,326 @@
+"""Gossip-scale block propagation: fanout policy, compact blocks, wire cost.
+
+The chaos harness originally *flooded*: every node forwards every full
+block to every peer, so one block costs O(n²) messages — fine at ten
+nodes, hopeless at a thousand.  This module holds the data structures and
+policy behind the three relay protocols :class:`~repro.blockchain.sim.
+ChaosNetwork` can speak:
+
+``flood``
+    Epidemic full-block relay.  On first acceptance a node forwards the
+    whole block to every peer except the one it came from.  O(n²)
+    messages and O(n² · body) bytes per block — the baseline.
+
+``gossip``
+    Header-first probabilistic relay.  On first acceptance a node sends
+    an 88-byte *announce* (header only) to a seeded random sample of
+    ~√n peers; each receiver pulls the body exactly once from the first
+    announcer, falling back to later announcers (then random peers) on
+    drop or timeout via the harness's standard retry machinery.  A
+    per-node seen-inventory drops duplicate announcements at the edge
+    instead of re-flooding them.  O(n·√n) messages, bodies travel once
+    per node.
+
+``compact``
+    Gossip plus compact-block bodies (BIP 152 shaped): the body response
+    is the header, the prefilled coinbase, and a 6-byte *short id* per
+    remaining transaction.  The receiver reconstructs the block from its
+    own :class:`TxPool`; misses cost one ``gettxn``/``txn`` round trip.
+    Same message complexity as gossip, but bodies shrink to a few bytes
+    per transaction once the mempools are warm.
+
+Everything here is deterministic: fanout sampling draws from a dedicated
+seeded stream (see :class:`FanoutSampler`), short ids are SHA-256
+prefixes, and reconstruction is a pure function of pool state — so a
+chaos replay with the same seed stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.blockchain.block import Block, BlockHeader, HEADER_BYTES
+from repro.blockchain.merkle import merkle_root
+from repro.errors import ChainError
+from repro.rng import Xoshiro256
+
+#: Relay protocols the chaos network can speak.
+RELAY_MODES = ("flood", "gossip", "compact")
+
+#: Bytes of a compact-block short transaction id (SHA-256 prefix; Bitcoin
+#: uses 6-byte SipHash ids — the width is what matters for wire cost).
+SHORT_ID_BYTES = 6
+
+#: Fixed per-message envelope (kind tag, lengths, checksums) charged by
+#: the wire-cost model on top of the payload.
+MESSAGE_OVERHEAD = 16
+
+#: A 32-byte block-id reference (inv, get, getblk payloads).
+HASH_BYTES = 32
+
+#: Default bound on a node's transaction pool (known + pending).
+DEFAULT_TXPOOL_CAP = 4096
+
+
+def default_fanout(n_nodes: int) -> int:
+    """The ~√N relay fanout for an ``n_nodes`` network, clamped to the
+    peer count.  Never below 2 (a fanout of 1 builds chains, not trees,
+    and one dropped link stalls the epidemic)."""
+    peers = max(1, n_nodes - 1)
+    return min(peers, max(2, math.isqrt(peers)))
+
+
+def resolve_fanout(configured: int, n_nodes: int) -> int:
+    """Effective fanout: ``configured`` clamped to ``[2, peers]``, or the
+    √N default when ``configured`` is 0 (auto).
+
+    An explicit fanout of 1 is *not* honored (except in two-node
+    networks, where there is only one peer): it degenerates the relay
+    tree into a chain whose per-hop announce + body-pull latency defeats
+    the convergence window — a liveness hazard, not a configuration.
+    """
+    peers = max(1, n_nodes - 1)
+    if configured <= 0:
+        return default_fanout(n_nodes)
+    return min(peers, max(2, configured))
+
+
+def short_tx_id(tx: bytes) -> bytes:
+    """Deterministic :data:`SHORT_ID_BYTES`-byte transaction id."""
+    return hashlib.sha256(tx).digest()[:SHORT_ID_BYTES]
+
+
+class FanoutSampler:
+    """Seeded sampling of relay targets without replacement.
+
+    Uses a partial Fisher-Yates shuffle so a sample of k peers costs k
+    RNG draws, not n — at 1000 nodes a full shuffle per relay would burn
+    a thousand draws to pick thirty-two targets.
+    """
+
+    def __init__(self, rng: Xoshiro256) -> None:
+        self._rng = rng
+
+    def sample(self, n_nodes: int, k: int, exclude: tuple[int, ...] = ()) -> list[int]:
+        """``k`` distinct node indices from ``range(n_nodes)`` minus
+        ``exclude``, in seeded order (fewer when the pool is small)."""
+        pool = [i for i in range(n_nodes) if i not in exclude]
+        k = min(k, len(pool))
+        for i in range(k):
+            j = self._rng.randint(i, len(pool) - 1)
+            pool[i], pool[j] = pool[j], pool[i]
+        return pool[:k]
+
+
+@dataclass(slots=True)
+class TxPool:
+    """Bounded per-node transaction inventory for compact-block relay.
+
+    Two tiers share one FIFO-bounded store: *pending* transactions are
+    candidates for the node's next block template; *known* transactions
+    (already seen in an accepted block) are kept only so compact blocks
+    referencing them still reconstruct without a round trip.  The whole
+    pool is in-memory state — a node crash wipes it.
+    """
+
+    capacity: int = DEFAULT_TXPOOL_CAP
+    _txs: dict[bytes, bytes] = field(default_factory=dict)
+    _pending: dict[bytes, bytes] = field(default_factory=dict)
+    _fifo: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ChainError("txpool capacity must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, sid: bytes) -> bool:
+        return sid in self._txs
+
+    def add(self, tx: bytes, pending: bool = True) -> bool:
+        """Insert ``tx``; returns False when it was already pooled."""
+        sid = short_tx_id(tx)
+        if sid in self._txs:
+            if not pending:
+                self._pending.pop(sid, None)
+            return False
+        self._txs[sid] = tx
+        if pending:
+            self._pending[sid] = tx
+        self._fifo.append(sid)
+        while len(self._txs) > self.capacity:
+            old = self._fifo.popleft()
+            self._txs.pop(old, None)
+            self._pending.pop(old, None)
+        return True
+
+    def get(self, sid: bytes) -> bytes | None:
+        return self._txs.get(sid)
+
+    def pending(self, limit: int) -> list[bytes]:
+        """Up to ``limit`` pending transactions in arrival order (the
+        deterministic block-template selection)."""
+        out = []
+        for sid in self._fifo:
+            if sid in self._pending:
+                out.append(self._pending[sid])
+                if len(out) >= limit:
+                    break
+        return out
+
+    def mark_mined(self, txs: tuple[bytes, ...]) -> None:
+        """Transactions landed in an accepted block: no longer pending,
+        but kept known for compact reconstruction."""
+        for tx in txs:
+            sid = short_tx_id(tx)
+            if sid in self._txs:
+                self._pending.pop(sid, None)
+            else:
+                self.add(tx, pending=False)
+
+    def clear(self) -> None:
+        self._txs.clear()
+        self._pending.clear()
+        self._fifo.clear()
+
+
+@dataclass(frozen=True, slots=True)
+class CompactBlock:
+    """Header + short tx ids + prefilled transactions (BIP 152 shaped).
+
+    ``prefilled`` maps body indices to full transactions the sender knows
+    the receiver cannot have (always index 0 — the coinbase is unique to
+    this block).  Every other slot is a :data:`SHORT_ID_BYTES`-byte id
+    the receiver resolves from its own :class:`TxPool`.
+    """
+
+    header: BlockHeader
+    short_ids: tuple[bytes, ...]  #: one per body index; b"" where prefilled
+    prefilled: tuple[tuple[int, bytes], ...]
+
+    @classmethod
+    def from_block(cls, block: Block, prefill: tuple[int, ...] = (0,)) -> "CompactBlock":
+        prefill_set = set(prefill)
+        short_ids = tuple(
+            b"" if i in prefill_set else short_tx_id(tx)
+            for i, tx in enumerate(block.transactions)
+        )
+        prefilled = tuple(
+            (i, block.transactions[i])
+            for i in sorted(prefill_set)
+            if i < len(block.transactions)
+        )
+        return cls(header=block.header, short_ids=short_ids, prefilled=prefilled)
+
+    def missing_indices(self, pool: TxPool) -> list[int]:
+        """Body indices whose short id is not in ``pool``."""
+        prefilled = {i for i, _ in self.prefilled}
+        return [
+            i for i, sid in enumerate(self.short_ids)
+            if i not in prefilled and pool.get(sid) is None
+        ]
+
+    def reconstruct(
+        self, pool: TxPool, extra: dict[int, bytes] | None = None
+    ) -> Block | None:
+        """Assemble the full block from pool + ``extra`` (a ``gettxn``
+        response), or None when a slot is still unresolved or the merkle
+        root does not match (short-id collision — caller falls back to a
+        full-body fetch)."""
+        extra = extra or {}
+        prefilled = dict(self.prefilled)
+        txs: list[bytes] = []
+        for i, sid in enumerate(self.short_ids):
+            if i in prefilled:
+                txs.append(prefilled[i])
+            elif i in extra:
+                txs.append(extra[i])
+            else:
+                tx = pool.get(sid)
+                if tx is None:
+                    return None
+                txs.append(tx)
+        if merkle_root(txs) != self.header.merkle_root:
+            return None  # short-id collision or stale pool: wrong body
+        return Block(header=self.header, transactions=tuple(txs))
+
+    def wire_bytes(self) -> int:
+        """Modelled wire size of this compact body."""
+        n_short = sum(1 for s in self.short_ids if s)
+        return (
+            HEADER_BYTES
+            + n_short * SHORT_ID_BYTES
+            + sum(len(tx) + 2 for _, tx in self.prefilled)
+        )
+
+
+def block_wire_bytes(block: Block) -> int:
+    """Modelled wire size of a full block message payload."""
+    return HEADER_BYTES + sum(len(tx) + 2 for tx in block.transactions)
+
+
+def message_wire_bytes(kind: str, *, block: Block | None = None,
+                       compact: CompactBlock | None = None,
+                       txs: tuple[bytes, ...] = (),
+                       indices: tuple[int, ...] = ()) -> int:
+    """Deterministic wire-cost model for one chaos-network message.
+
+    ======== ======================================================
+    kind     payload
+    ======== ======================================================
+    inv      32-byte tip id
+    ann      88-byte header (header-first announce)
+    get      32-byte id (batched backward-sync request)
+    getblk   32-byte id (single body pull)
+    getfull  32-byte id (compact fallback: full body pull)
+    block    header + transactions
+    cmpct    header + short ids + prefilled transactions
+    gettxn   32-byte id + 4 bytes per requested index
+    txn      32-byte id + requested transactions
+    tx       one transaction
+    ======== ======================================================
+    """
+    if kind in ("inv", "get", "getblk", "getfull"):
+        payload = HASH_BYTES
+    elif kind == "ann":
+        payload = HEADER_BYTES
+    elif kind == "block":
+        payload = block_wire_bytes(block) if block is not None else HEADER_BYTES
+    elif kind == "cmpct":
+        payload = compact.wire_bytes() if compact is not None else HEADER_BYTES
+    elif kind == "gettxn":
+        payload = HASH_BYTES + 4 * len(indices)
+    elif kind == "txn":
+        payload = HASH_BYTES + sum(len(tx) + 2 for tx in txs)
+    elif kind == "tx":
+        payload = sum(len(tx) + 2 for tx in txs)
+    else:
+        raise ChainError(f"unknown message kind {kind!r}")
+    return MESSAGE_OVERHEAD + payload
+
+
+#: Message kinds that carry *block propagation* (used for the
+#: messages-per-block efficiency metric; ``tx`` gossip is accounted
+#: separately — transaction relay exists in every mode and would drown
+#: the block-relay signal).
+BLOCK_RELAY_KINDS = (
+    "block", "ann", "inv", "get", "getblk", "getfull", "cmpct", "gettxn", "txn",
+)
+
+#: Coarse categories for the per-run traffic summary.
+KIND_CATEGORY = {
+    "inv": "announce",
+    "ann": "header",
+    "block": "body",
+    "cmpct": "body",
+    "txn": "body",
+    "get": "request",
+    "getblk": "request",
+    "getfull": "request",
+    "gettxn": "request",
+    "tx": "tx",
+}

@@ -43,6 +43,60 @@ class NetworkResult:
         return sum(self.block_times) / len(self.block_times) if self.block_times else 0.0
 
 
+@dataclass(slots=True)
+class RelayTraffic:
+    """Closed-form per-block propagation cost of one relay protocol.
+
+    The chaos harness (:mod:`repro.blockchain.sim`) *measures* these
+    quantities; this model predicts them, so benchmark results can be
+    sanity-checked against the expected complexity class and the
+    statistical simulator can price propagation latency without running
+    a message-level simulation.
+    """
+
+    relay: str
+    fanout: int
+    #: Expected block-relay messages per block (announces + pulls +
+    #: bodies; transaction gossip excluded, as in the measured metric).
+    messages_per_block: int
+    #: Relay-tree depth — how many store-and-forward generations a block
+    #: crosses before the last node has it.
+    hops: int
+
+
+def relay_traffic_model(
+    n_nodes: int, relay: str = "flood", fanout: int = 0
+) -> RelayTraffic:
+    """Expected propagation cost for one block over ``n_nodes``.
+
+    ``flood``: every node forwards the full body to every peer on first
+    acceptance — n·(n-1) messages, one hop of useful latency (everyone
+    hears directly from the origin's generation).  ``gossip`` /
+    ``compact``: each node announces to ``fanout`` peers (n·f) and every
+    non-origin node pulls the body exactly once (2·(n-1) for the
+    request/response pair); the epidemic reaches the whole network in
+    ~log_f(n) generations.  Compact's ``gettxn`` round trips vanish once
+    mempools are warm, so the model prices them at zero.
+    """
+    if relay not in ("flood", "gossip", "compact"):
+        raise ChainError(f"unknown relay mode {relay!r}")
+    if n_nodes < 2:
+        return RelayTraffic(relay=relay, fanout=0, messages_per_block=0, hops=0)
+    if relay == "flood":
+        return RelayTraffic(
+            relay=relay, fanout=n_nodes - 1,
+            messages_per_block=n_nodes * (n_nodes - 1), hops=1,
+        )
+    from repro.blockchain.gossip import resolve_fanout
+
+    f = resolve_fanout(fanout, n_nodes)
+    return RelayTraffic(
+        relay=relay, fanout=f,
+        messages_per_block=n_nodes * f + 2 * (n_nodes - 1),
+        hops=max(1, math.ceil(math.log(n_nodes, f)) if f > 1 else n_nodes - 1),
+    )
+
+
 def simulate_network(
     hashrates: Sequence[float] | Callable[[float, int], Sequence[float]],
     n_blocks: int,
@@ -50,6 +104,9 @@ def simulate_network(
     *,
     initial_difficulty: float = 100.0,
     propagation_delay: float = 0.0,
+    relay: str | None = None,
+    fanout: int = 0,
+    hop_delay: float = 0.0,
     seed: int = 1,
 ) -> NetworkResult:
     """Simulate ``n_blocks`` of mining.
@@ -59,6 +116,12 @@ def simulate_network(
     the hardware-repurposing discussion of §VI-D).  ``propagation_delay``
     counts near-simultaneous solutions (inter-arrival below the delay) as
     orphan candidates.
+
+    Alternatively pass ``relay`` (+ optional ``fanout``) and a per-hop
+    ``hop_delay``: the effective propagation delay is then derived from
+    :func:`relay_traffic_model` — ``hops × hop_delay`` — so the orphan
+    rate reflects the relay protocol's latency profile (header-first
+    gossip trades bandwidth for extra store-and-forward generations).
     """
     schedule = schedule or RetargetSchedule()
     if initial_difficulty < 1.0:
@@ -73,6 +136,13 @@ def simulate_network(
         rates = list(hashrates(now, height)) if callable(hashrates) else list(hashrates)
         if not rates or min(rates) < 0 or sum(rates) <= 0:
             raise ChainError("hashrates must be non-negative with positive total")
+        delay = propagation_delay
+        if relay is not None and hop_delay > 0.0:
+            # Derived per-block (the miner population may be time-varying).
+            delay = max(
+                delay,
+                relay_traffic_model(len(rates), relay, fanout).hops * hop_delay,
+            )
         difficulty = target_to_difficulty(compact_to_target(bits))
         total_rate = sum(rates)
         # Exponential inter-arrival: -ln(U) * difficulty / total_hashrate.
@@ -83,7 +153,7 @@ def simulate_network(
         result.difficulties.append(difficulty)
         # Winner proportional to hashrate.
         result.winners.append(rng.sample_weighted(rates))
-        if propagation_delay > 0.0 and dt < propagation_delay:
+        if delay > 0.0 and dt < delay:
             result.orphan_candidates += 1
         # Retarget through the real consensus rule.
         if height % schedule.interval == 0:

@@ -23,6 +23,7 @@ from typing import Callable
 from repro.blockchain.block import Block
 from repro.blockchain.chain import Blockchain, block_id
 from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.gossip import CompactBlock, TxPool
 from repro.blockchain.miner import mine_block
 from repro.core.pow import PowFunction
 from repro.errors import ChainError, ValidationError
@@ -83,6 +84,9 @@ class Node:
         #: False while the node is crashed; a crashed node drops all traffic.
         self.alive = True
         self.crashes = 0
+        #: Transaction inventory for compact-block relay (in-memory: a
+        #: crash wipes it and reconstruction falls back to ``gettxn``).
+        self.txpool = TxPool()
 
     def tip_id(self) -> bytes:
         return self.chain.tip_id
@@ -171,6 +175,7 @@ class Node:
         self._orphan_fifo.clear()
         self._orphan_ids.clear()
         self._orphan_total = 0
+        self.txpool.clear()
 
     def restart(self) -> None:
         """Bring a crashed node back; it resyncs via normal gossip plus the
@@ -191,6 +196,14 @@ class Node:
     def missing_parents(self) -> list[bytes]:
         """Parent ids the orphan buffer is waiting on (resync targets)."""
         return [p for p in self._orphans if p not in self.chain]
+
+    def reconstruct_compact(
+        self, compact: CompactBlock, extra: dict[int, bytes] | None = None
+    ) -> Block | None:
+        """Rebuild a compact body from this node's transaction pool (plus
+        a ``gettxn`` response); None when a slot is unresolved or the
+        merkle root disagrees (short-id collision)."""
+        return compact.reconstruct(self.txpool, extra)
 
     def stats(self) -> dict:
         """Structured per-node counters (chaos reports, debugging)."""
@@ -229,6 +242,11 @@ class P2PNetwork:
     on_deliver: Callable[[int, int, int, Block, ReceiveResult], None] | None = None
     _queue: list[_InFlight] = field(default_factory=list)
     _tick: int = 0
+    #: Deliveries actually scheduled by :meth:`broadcast`.
+    sends: int = 0
+    #: Sends short-circuited because the target already ``knows()`` the
+    #: block (it would only have revalidated and rejected a duplicate).
+    suppressed_sends: int = 0
 
     @classmethod
     def create(
@@ -275,10 +293,22 @@ class P2PNetwork:
         return mined.block
 
     def broadcast(self, origin: int, block: Block) -> None:
-        """Queue delivery of ``block`` to every other node."""
+        """Queue delivery of ``block`` to every other node.
+
+        Sender-side suppression: a target that already ``knows()`` the
+        block (in chain or orphan-buffered) is skipped instead of being
+        made to revalidate and reject a duplicate; skips are counted in
+        :attr:`suppressed_sends` / :meth:`stats`.
+        """
+        bid = block_id(block)
         for target in range(len(self.nodes)):
-            if target != origin:
-                self._schedule(origin, target, block)
+            if target == origin:
+                continue
+            if self.nodes[target].knows(bid):
+                self.suppressed_sends += 1
+                continue
+            self.sends += 1
+            self._schedule(origin, target, block)
 
     def _schedule(self, origin: int, target: int, block: Block) -> None:
         self._queue.append(
@@ -312,3 +342,11 @@ class P2PNetwork:
 
     def heights(self) -> list[int]:
         return [node.chain.height() for node in self.nodes]
+
+    def stats(self) -> dict:
+        """Network-level delivery counters."""
+        return {
+            "sends": self.sends,
+            "suppressed_sends": self.suppressed_sends,
+            "in_flight": len(self._queue),
+        }

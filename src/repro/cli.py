@@ -348,6 +348,11 @@ def cmd_chaos(args) -> int:
             scenario = Scenario.from_dict(json.load(handle))
         if args.seed is not None:
             scenario = scenario.with_seed(args.seed)
+        if args.relay is not None or args.fanout is not None:
+            scenario = scenario.with_relay(
+                args.relay if args.relay is not None else scenario.relay,
+                fanout=args.fanout,
+            )
     else:
         byzantine = ()
         if args.byzantine:
@@ -363,6 +368,8 @@ def cmd_chaos(args) -> int:
             partitions=tuple(_parse_partition(s) for s in args.partition),
             crashes=tuple(_parse_crash(s) for s in args.crash),
             byzantine=byzantine,
+            relay=args.relay if args.relay is not None else "flood",
+            fanout=args.fanout if args.fanout is not None else 0,
         )
     report = ChaosRunner(scenario).run()
     print(report.to_json())
@@ -466,6 +473,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash/restart event (repeatable)")
     p.add_argument("--byzantine", type=int, default=0, metavar="EVERY",
                    help="add a byzantine peer forging every EVERY ticks")
+    p.add_argument("--relay", choices=["flood", "gossip", "compact"],
+                   default=None,
+                   help="block relay protocol (also overrides a --scenario "
+                        "file's; default flood)")
+    p.add_argument("--fanout", type=int, default=None, metavar="K",
+                   help="gossip relay fanout; 0 = auto (~sqrt(N), default)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("simulate", help="statistical mining-network study")
