@@ -28,6 +28,13 @@ Unlike the wall-clock gates this one is deterministic — the chaos
 simulation is seeded — so any drift is a real protocol change, not
 measurement noise.
 
+A fourth gate protects *pool-server throughput*: when a committed
+``BENCH_pool.json`` exists, the small gate point (a batched-verification
+blind-client swarm over loopback; see ``bench_poolserver.py``) is
+re-measured (best-of-3) and fails the gate when its sustained shares/s
+fall more than ``--pool-threshold`` (default 20%) below the committed
+figure, or any share in the fresh run errors.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -166,6 +173,36 @@ def check_propagation(committed_path: pathlib.Path, threshold: float,
     return ok
 
 
+def check_pool(committed_path: pathlib.Path, threshold: float) -> bool:
+    """Re-measure the committed pool gate point; False on regression."""
+    from bench_poolserver import GATE_CLIENTS, GATE_SHARES, gate_point
+
+    committed = json.loads(committed_path.read_text())
+    gate = committed.get("gate")
+    if not gate or "shares_per_s" not in gate:
+        print(f"{committed_path} has no gate point — regenerate it with "
+              f"benchmarks/bench_poolserver.py")
+        return False
+    if (gate.get("clients"), gate.get("shares")) != (
+        GATE_CLIENTS, GATE_CLIENTS * GATE_SHARES
+    ):
+        print(f"{committed_path} gate point shape drifted from "
+              f"bench_poolserver.py — regenerate it")
+        return False
+    try:
+        fresh = gate_point()
+    except RuntimeError as exc:  # degraded run: dropped/errored shares
+        print(f"pool gate: fresh run degraded ({exc})  FAIL")
+        return False
+    old, new = gate["shares_per_s"], fresh["shares_per_s"]
+    drop = 1.0 - new / old
+    ok = drop <= threshold
+    print(f"pool gate ({GATE_CLIENTS} clients, batched): committed "
+          f"{old:8.1f} shares/s, fresh {new:8.1f} shares/s ({-drop:+.1%})  "
+          f"{'ok' if ok else 'FAIL'}")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--committed", type=pathlib.Path,
@@ -183,6 +220,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--propagation-threshold", type=float, default=0.20,
                         help="maximum tolerated messages-per-block growth "
                              "at the gated 100-node gossip point")
+    parser.add_argument("--pool", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_pool.json"),
+                        help="committed pool-server artifact (gate skipped "
+                             "when absent)")
+    parser.add_argument("--pool-threshold", type=float, default=0.20,
+                        help="maximum tolerated sustained shares/s drop at "
+                             "the gated pool load point")
     parser.add_argument("--machine", choices=sorted(PRESETS), default=None,
                         help="machine preset (default: the committed one)")
     parser.add_argument("--instructions", type=int, default=None,
@@ -240,6 +284,12 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"no committed propagation baseline at {args.propagation}; "
               f"propagation gate skipped")
+
+    if args.pool.exists():
+        failed |= not check_pool(args.pool, args.pool_threshold)
+    else:
+        print(f"no committed pool baseline at {args.pool}; "
+              f"pool gate skipped")
 
     if failed:
         print(f"regression gate FAILED: a gated metric regressed past its "

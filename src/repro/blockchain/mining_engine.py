@@ -245,7 +245,13 @@ class WorkerStats:
 
     @property
     def hashrate(self) -> float:
-        """This worker's busy-time hash rate."""
+        """This worker's busy-time hash rate.
+
+        0.0 — never a raise or ``inf`` — before the first batch lands or
+        when the measured busy time is still zero (a report generated
+        before any chunk completes); regression-tested in
+        ``tests/test_mining_engine.py``.
+        """
         return self.hashes / self.busy_seconds if self.busy_seconds > 0 else 0.0
 
 
@@ -302,7 +308,11 @@ class EngineReport:
 
     @property
     def hashrate(self) -> float:
-        """Aggregate hashes per wall-clock second."""
+        """Aggregate hashes per wall-clock second.
+
+        0.0 before any mining has happened (zero wall time) — the same
+        no-raise contract as :attr:`WorkerStats.hashrate`.
+        """
         return self.hashes / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 

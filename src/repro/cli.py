@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro profile leela
     python -m repro workloads
     python -m repro mine --difficulty 4 --blocks 2
+    python -m repro pool --port 3333 --share-difficulty 2
     python -m repro simulate --hashrates 100,50,25 --blocks 500
     python -m repro chaos --nodes 4 --drop 0.1 --byzantine 7 --seed 3
 
@@ -263,6 +264,78 @@ def cmd_mine(args) -> int:
 
 
 def cmd_pool(args) -> int:
+    """Run the stratum-style mining-pool server.
+
+    Hands out header templates from a fresh chain at ``--difficulty``,
+    grades shares at per-client vardiff difficulty starting from
+    ``--share-difficulty``, and drains submissions through the batched
+    verifier.  ``--duration`` bounds the run (default: until Ctrl-C).
+    """
+    import asyncio
+
+    from repro.baselines.sha256d import Sha256d
+    from repro.blockchain.chain import Blockchain
+    from repro.blockchain.difficulty import RetargetSchedule
+    from repro.blockchain.ledger import Ledger
+    from repro.blockchain.mempool import Mempool
+    from repro.core.pow import difficulty_to_target, target_to_compact
+    from repro.pool import ChainTemplateSource, PoolConfig, PoolServer
+
+    pow_fn = Sha256d() if args.pow == "sha256d" else _hashcore(args)
+    chain = Blockchain(
+        pow_fn,
+        genesis_bits=target_to_compact(difficulty_to_target(args.difficulty)),
+        schedule=RetargetSchedule(interval=10_000),
+    )
+    source = ChainTemplateSource(chain, Mempool(Ledger()))
+    config = PoolConfig(
+        host=args.host,
+        port=args.port,
+        share_difficulty=args.share_difficulty,
+        vardiff=not args.no_vardiff,
+        batched_verify=not args.per_share_verify,
+    )
+
+    async def serve() -> None:
+        server = PoolServer(pow_fn, source, config)
+        await server.start()
+        print(f"pool listening on {config.host}:{server.port} "
+              f"({pow_fn.name}, block difficulty {args.difficulty}, "
+              f"share difficulty {args.share_difficulty})")
+        loop = asyncio.get_running_loop()
+        deadline = None if args.duration is None else (
+            loop.time() + args.duration
+        )
+        try:
+            while deadline is None or loop.time() < deadline:
+                wait = args.refresh
+                if deadline is not None:
+                    wait = min(wait, max(0.0, deadline - loop.time()))
+                await asyncio.sleep(wait)
+                if deadline is None or loop.time() < deadline:
+                    server.rotate_job(clean=False)  # timestamp refresh
+        finally:
+            await server.stop()
+            stats = server.stats
+            print(f"shares : accepted={stats.accepted} stale={stats.stale} "
+                  f"invalid={stats.invalid} duplicate={stats.duplicate}")
+            print(f"clients: sessions={stats.sessions} "
+                  f"connections={stats.connections} bans={stats.bans} "
+                  f"slow-disconnects={stats.slow_disconnects}")
+            print(f"blocks : found={stats.blocks_found} "
+                  f"chain height {chain.height()}")
+            batching = server.verifier.stats
+            print(f"verify : {batching.shares} shares in {batching.batches} "
+                  f"batches (mean {batching.mean_batch:.1f}/batch)")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_widgetpool(args) -> int:
     """Build a widget pool and report the §VI-A selection stats."""
     from repro.core.default_profile import default_profile
     from repro.widgetgen.pool import WidgetPool
@@ -450,9 +523,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_mine)
 
-    p = sub.add_parser("pool", help="build a widget pool and report §VI-A stats")
-    p.add_argument("--size", type=int, default=16)
+    p = sub.add_parser("pool", help="run the stratum-style mining-pool server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=3333,
+                   help="listen port (0: ephemeral)")
+    p.add_argument("--share-difficulty", type=float, default=1.0,
+                   help="starting per-client share difficulty")
+    p.add_argument("--difficulty", type=float, default=1024.0,
+                   help="block difficulty of the pool's chain")
+    p.add_argument("--pow", choices=("hashcore", "sha256d"),
+                   default="hashcore",
+                   help="PoW function the pool verifies (sha256d: fast demo)")
+    p.add_argument("--no-vardiff", action="store_true",
+                   help="pin the share difficulty (disable retargeting)")
+    p.add_argument("--per-share-verify", action="store_true",
+                   help="verify each share individually instead of batched "
+                        "(the baseline bench_poolserver.py races against)")
+    p.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                   help="stop after this long (default: run until Ctrl-C)")
+    p.add_argument("--refresh", type=float, default=30.0, metavar="SECONDS",
+                   help="job timestamp-refresh cadence")
     p.set_defaults(fn=cmd_pool)
+
+    p = sub.add_parser("widgetpool",
+                       help="build a widget pool and report §VI-A stats")
+    p.add_argument("--size", type=int, default=16)
+    p.set_defaults(fn=cmd_widgetpool)
 
     p = sub.add_parser("chaos", help="fault-injection consensus chaos run")
     p.add_argument("--scenario", default=None, metavar="JSON",

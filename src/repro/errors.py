@@ -96,3 +96,8 @@ class EngineFault(PowError):
 
 class ConfigError(ReproError):
     """A machine or generator configuration is invalid."""
+
+
+class PoolError(ReproError):
+    """The mining-pool layer hit a protocol or configuration fault."""
+

@@ -1,0 +1,51 @@
+"""Stratum-style asyncio mining pool.
+
+The pool layer is the first network entry point that exercises HashCore's
+verify path under concurrent multi-client load (the paper's requirement
+that verification stay cheap on commodity CPUs, §IV).  It splits into
+small, separately testable pieces:
+
+* :mod:`repro.pool.protocol` — the JSON-lines wire format (message
+  builders, size limits, stable error codes).
+* :mod:`repro.pool.vardiff` — per-client share-difficulty retargeting
+  from an EMA of observed share intervals.
+* :mod:`repro.pool.payout` — the PPLNS sliding-window payout split.
+* :mod:`repro.pool.session` — per-client accounting (accepted / stale /
+  invalid shares, ban score, reconnect-safe session ids).
+* :mod:`repro.pool.jobs` — job templates from the chain tip + mempool,
+  job rotation with clean-jobs flags, nonce-range work units.
+* :mod:`repro.pool.verifier` — the batched share-verification queue
+  drained through ``PowFunction.hash_batch``.
+* :mod:`repro.pool.server` — the asyncio TCP server tying it together.
+* :mod:`repro.pool.client` — an asyncio miner / load-generator client
+  (used by ``benchmarks/bench_poolserver.py``).
+"""
+
+from repro.pool.client import ClientStats, PoolClient
+from repro.pool.jobs import ChainTemplateSource, Job, JobManager, StaticTemplateSource
+from repro.pool.payout import PPLNSWindow
+from repro.pool.protocol import MAX_LINE_BYTES, PoolProtocolError
+from repro.pool.server import PoolConfig, PoolServer, PoolStats
+from repro.pool.session import ClientSession
+from repro.pool.vardiff import Vardiff, VardiffConfig
+from repro.pool.verifier import BatchVerifier, VerifierStats
+
+__all__ = [
+    "BatchVerifier",
+    "ChainTemplateSource",
+    "ClientSession",
+    "ClientStats",
+    "Job",
+    "JobManager",
+    "MAX_LINE_BYTES",
+    "PPLNSWindow",
+    "PoolClient",
+    "PoolConfig",
+    "PoolProtocolError",
+    "PoolServer",
+    "PoolStats",
+    "StaticTemplateSource",
+    "Vardiff",
+    "VardiffConfig",
+    "VerifierStats",
+]

@@ -1,0 +1,301 @@
+"""Asyncio pool client: a real miner and a load generator in one.
+
+Two modes share the connection machinery:
+
+* **mining mode** (``pow_fn`` given) — on every job the client grinds its
+  assigned nonce range locally, submitting only nonces whose digest meets
+  the current share target.  This is an honest stratum miner in
+  miniature, used by the protocol tests against SHA-256d.
+* **blind mode** (``pow_fn=None``) — the client submits sequential nonces
+  from its range at a fixed pace without hashing.  With share difficulty
+  1 every 256-bit digest qualifies, so all submissions are accepted and
+  the *server's* verification pipeline is the only PoW work in the
+  process — exactly what ``benchmarks/bench_poolserver.py`` wants to
+  load-test with a thousand concurrent clients.
+
+A single reader task owns the socket: responses resolve the pending
+request future by id, ``mining.notify`` swaps the current job (clean
+jobs reset the nonce cursor), ``mining.set_difficulty`` retunes the
+local grind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+
+from repro.blockchain.block import BlockHeader
+from repro.core.pow import PowFunction, difficulty_to_target, meets_target
+from repro.errors import PoolError
+from repro.pool import protocol
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """Submission outcomes as seen from the client side."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    stale: int = 0
+    blocks: int = 0
+    notifies: int = 0
+    retargets: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class _JobView:
+    job_id: str
+    header: BlockHeader
+    clean: bool
+
+
+class PoolClient:
+    """One pool connection; usable as an async context manager."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        account: str,
+        *,
+        pow_fn: PowFunction | None = None,
+        session: str | None = None,
+        submit_interval: float = 0.0,
+        resume_nonce: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.account = account
+        self.pow_fn = pow_fn
+        self.session = session
+        self.submit_interval = submit_interval
+        #: Where to pick the nonce scan back up when reattaching a
+        #: session (``next_nonce`` of the previous connection) — without
+        #: it a reconnect would re-submit its own earlier nonces and be
+        #: rejected as duplicates while the job is unchanged.
+        self._resume = resume_nonce
+        self.stats = ClientStats()
+        self.difficulty = 1.0
+        self.nonce_start = 0
+        self.nonce_count = 0
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._job: _JobView | None = None
+        self._job_event = asyncio.Event()
+        self._cursor = 0
+        self._reader_task: asyncio.Task | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_LINE_BYTES
+        )
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        result = await self.call(
+            "mining.subscribe",
+            {"agent": "repro-pool-client", "session": self.session},
+        )
+        self.session = result["session"]
+        self.nonce_start = result["nonce_start"]
+        self.nonce_count = result["nonce_count"]
+        self.difficulty = result["difficulty"]
+        # The first notify may already have been processed (with a stale
+        # nonce_start) before this point; only ever raise the cursor so
+        # neither ordering loses a pending resume position.
+        self._cursor = max(self._cursor, self.nonce_start)
+        await self.call("mining.authorize", {"account": self.account})
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(PoolError("client closed"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "PoolClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # wire
+    # ------------------------------------------------------------------
+    async def call(self, method: str, params: dict) -> dict:
+        """Send one request and await its response's ``result``.
+
+        Protocol-level rejections surface as
+        :class:`~repro.pool.protocol.PoolProtocolError`.
+        """
+        if self._writer is None:
+            raise PoolError("client not connected")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(
+            protocol.encode(protocol.request(request_id, method, params))
+        )
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = protocol.decode_line(line)
+                if message.get("id") is None and "method" in message:
+                    self._on_notification(message)
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is None or future.done():
+                    continue
+                error = message.get("error")
+                if error:
+                    future.set_exception(
+                        protocol.PoolProtocolError(
+                            error.get("code", "bad-request"),
+                            error.get("message", "rejected"),
+                        )
+                    )
+                else:
+                    future.set_result(message.get("result") or {})
+        except (ConnectionError, OSError, asyncio.CancelledError,
+                protocol.PoolProtocolError):
+            pass
+        finally:
+            disconnect = PoolError("server closed the connection")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(disconnect)
+            self._pending.clear()
+
+    def _on_notification(self, message: dict) -> None:
+        method = message["method"]
+        params = message.get("params") or {}
+        if method == "mining.notify":
+            self.stats.notifies += 1
+            header = BlockHeader.deserialize(bytes.fromhex(params["header"]))
+            clean = bool(params.get("clean"))
+            self._job = _JobView(
+                job_id=params["job"], header=header, clean=clean
+            )
+            if clean:
+                self._cursor = self.nonce_start
+            if self._resume is not None:
+                # Reattach: skip past nonces submitted before the
+                # reconnect (harmless when the job rotated meanwhile).
+                self._cursor = max(self._cursor, self._resume)
+                self._resume = None
+            self._job_event.set()
+        elif method == "mining.set_difficulty":
+            self.stats.retargets += 1
+            self.difficulty = float(params["difficulty"])
+
+    # ------------------------------------------------------------------
+    # mining / load generation
+    # ------------------------------------------------------------------
+    async def wait_for_job(self) -> _JobView:
+        await self._job_event.wait()
+        assert self._job is not None
+        return self._job
+
+    @property
+    def next_nonce(self) -> int:
+        """The next nonce the scan will try (pass as ``resume_nonce``
+        when reattaching this session on a new connection)."""
+        return self._cursor
+
+    def _next_nonce(self) -> int:
+        if self._cursor >= self.nonce_start + self.nonce_count:
+            raise PoolError("nonce range exhausted")
+        nonce = self._cursor
+        self._cursor += 1
+        return nonce
+
+    async def _submit(self, job_id: str, nonce: int) -> bool:
+        self.stats.submitted += 1
+        try:
+            result = await self.call(
+                "mining.submit", {"job": job_id, "nonce": nonce}
+            )
+        except protocol.PoolProtocolError as exc:
+            self.stats.rejected += 1
+            if exc.code == "stale-job":
+                self.stats.stale += 1
+            self.stats.errors[exc.code] = self.stats.errors.get(exc.code, 0) + 1
+            return False
+        self.stats.accepted += 1
+        if "block" in result:
+            self.stats.blocks += 1
+        return True
+
+    async def submit_shares(self, count: int, *, lanes: int = 1) -> int:
+        """Submit ``count`` shares from the current job; returns accepted.
+
+        Mining mode grinds honestly against the share target; blind mode
+        submits sequential nonces unhashed.  ``submit_interval`` paces
+        consecutive submissions (the load knob).  ``lanes`` keeps that
+        many submissions in flight concurrently — a real miner does not
+        stop hashing while a share ack is on the wire, and a stop-and-wait
+        load generator would starve the server's verification batching.
+        """
+        if lanes > 1:
+            per, extra = divmod(count, lanes)
+            counts = [per + (1 if i < extra else 0) for i in range(lanes)]
+            results = await asyncio.gather(
+                *(self.submit_shares(n) for n in counts if n)
+            )
+            return sum(results)
+        job = await self.wait_for_job()
+        accepted = 0
+        for _ in range(count):
+            if self._job is not None and self._job.job_id != job.job_id:
+                job = self._job  # rotated mid-run: follow the new job
+            nonce = self._find_share(job)
+            if await self._submit(job.job_id, nonce):
+                accepted += 1
+            if self.submit_interval > 0:
+                await asyncio.sleep(self.submit_interval)
+        return accepted
+
+    def _find_share(self, job: _JobView) -> int:
+        """Next nonce to submit: ground honestly or blind-sequential."""
+        if self.pow_fn is None:
+            return self._next_nonce()
+        target = difficulty_to_target(self.difficulty)
+        while True:
+            nonce = self._next_nonce()
+            digest = self.pow_fn.hash(
+                job.header.with_nonce(nonce).serialize()
+            )
+            if meets_target(digest, target):
+                return nonce

@@ -1,0 +1,200 @@
+"""Job templates and rotation.
+
+A *job* is one header template the pool hands to every client: the chain
+tip as parent, the mempool's current fee-ordered selection as the body,
+and nonce 0 — each client searches its own assigned nonce range.  On a
+new chain tip (a block found by this pool or announced externally) the
+manager rotates with ``clean=True``: every outstanding job becomes stale
+and clients must abandon in-flight work, exactly the stratum
+``clean_jobs`` contract.  Timestamp refreshes rotate with ``clean=False``
+— old shares stay grading-eligible until their job ages out of the
+``max_jobs`` window.
+
+Template building and block submission are behind the small
+``TemplateSource`` duck type so the server can run against a real
+:class:`~repro.blockchain.chain.Blockchain` + mempool + ledger
+(:class:`ChainTemplateSource` — the sequence *select → mine → apply →
+remove_included → revalidate* that the mempool rotation tests pin) or a
+fixed header for load benches (:class:`StaticTemplateSource`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.ledger import BLOCK_REWARD
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.transaction import TRANSACTION_BYTES, Transaction
+from repro.core.pow import compact_to_target
+from repro.errors import PoolError
+
+#: Address credited with block rewards when none is configured.
+DEFAULT_POOL_ADDRESS = b"pool".ljust(32, b"\x00")
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One notify-able work template."""
+
+    job_id: str
+    header: BlockHeader  # nonce-0 template; clients substitute their nonce
+    height: int
+    transactions: tuple[bytes, ...]
+    clean: bool
+    block_target: int
+
+    def header_for(self, nonce: int) -> BlockHeader:
+        return self.header.with_nonce(nonce)
+
+    def notify_params(self) -> dict:
+        """The ``mining.notify`` payload for this job."""
+        return {
+            "job": self.job_id,
+            "header": self.header.serialize().hex(),
+            "height": self.height,
+            "clean": self.clean,
+        }
+
+
+class ChainTemplateSource:
+    """Templates from a live chain + mempool; submission applies state.
+
+    ``submit_block`` runs the full tip-rotation sequence the pool
+    performs on every found block: chain validation/fork choice, ledger
+    application (fees + subsidy to ``pool_address``), mempool
+    ``remove_included`` and ``revalidate``.  Returns ``(block_id,
+    reward)`` so the server can feed the PPLNS split.
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        mempool: Mempool | None = None,
+        *,
+        pool_address: bytes = DEFAULT_POOL_ADDRESS,
+        max_transactions: int = 100,
+        now_fn: Callable[[], int] | None = None,
+    ) -> None:
+        if max_transactions < 1:
+            raise PoolError("max_transactions must be >= 1")
+        self.chain = chain
+        self.mempool = mempool
+        self.pool_address = pool_address
+        self.max_transactions = max_transactions
+        self.now_fn = now_fn or (lambda: int(time.time()))
+
+    def build_template(self) -> tuple[Block, int]:
+        """Assemble a candidate block on the current tip."""
+        tip = self.chain.tip()
+        height = self.chain.height() + 1
+        selected = (
+            self.mempool.select(self.max_transactions)
+            if self.mempool is not None and len(self.mempool)
+            else []
+        )
+        transactions = [b"coinbase-%d" % height] + [
+            tx.serialize() for tx in selected
+        ]
+        block = Block.build(
+            prev_hash=self.chain.tip_id,
+            transactions=transactions,
+            timestamp=max(self.now_fn(), tip.header.timestamp),
+            bits=self.chain.expected_bits(self.chain.tip_id),
+        )
+        return block, height
+
+    def submit_block(self, block: Block) -> tuple[bytes, int]:
+        """Validate, store, and apply a solved block."""
+        block_id = self.chain.add_block(block)
+        reward = BLOCK_REWARD
+        if self.mempool is not None and self.chain.tip_id == block_id:
+            included = [
+                Transaction.deserialize(raw)
+                for raw in block.transactions
+                if len(raw) == TRANSACTION_BYTES
+            ]
+            reward = self.mempool.ledger.apply_block(
+                included, self.pool_address
+            )
+            self.mempool.remove_included(included)
+            self.mempool.revalidate()
+        return block_id, reward
+
+
+class StaticTemplateSource:
+    """A fixed header template — load benches and protocol tests.
+
+    The template never advances and submitted blocks are only counted,
+    so a bench measures the share pipeline, not chain maintenance.
+    """
+
+    def __init__(self, header: BlockHeader, *, height: int = 1,
+                 reward: int = BLOCK_REWARD) -> None:
+        self.header = header.with_nonce(0)
+        self.height = height
+        self.reward = reward
+        self.submitted: list[Block] = []
+
+    def build_template(self) -> tuple[Block, int]:
+        block = Block(header=self.header, transactions=(b"coinbase-static",))
+        return block, self.height
+
+    def submit_block(self, block: Block) -> tuple[bytes, int]:
+        self.submitted.append(block)
+        from repro.blockchain.chain import block_id
+
+        return block_id(block), self.reward
+
+
+class JobManager:
+    """Issues jobs, tracks the live window, and rotates on new tips."""
+
+    def __init__(self, source, *, max_jobs: int = 4) -> None:
+        if max_jobs < 1:
+            raise PoolError("max_jobs must be >= 1")
+        self.source = source
+        self.max_jobs = max_jobs
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._counter = 0
+
+    @property
+    def current(self) -> Job:
+        if not self._jobs:
+            raise PoolError("no job issued yet — call rotate() first")
+        return next(reversed(self._jobs.values()))
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def live_ids(self) -> set[str]:
+        return set(self._jobs)
+
+    def rotate(self, *, clean: bool) -> Job:
+        """Build a fresh job from the source.
+
+        ``clean=True`` (new chain tip) invalidates every outstanding job;
+        ``clean=False`` keeps the previous ``max_jobs - 1`` grading-
+        eligible (timestamp refresh).
+        """
+        block, height = self.source.build_template()
+        job_id = f"{self._counter:08x}"
+        self._counter += 1
+        if clean:
+            self._jobs.clear()
+        job = Job(
+            job_id=job_id,
+            header=block.header,
+            height=height,
+            transactions=block.transactions,
+            clean=clean,
+            block_target=compact_to_target(block.header.bits),
+        )
+        self._jobs[job_id] = job
+        while len(self._jobs) > self.max_jobs:
+            self._jobs.popitem(last=False)
+        return job

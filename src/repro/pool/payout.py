@@ -1,0 +1,87 @@
+"""PPLNS payout accounting (pay-per-last-N-shares).
+
+When the pool finds a block, the reward is split over the *last N units
+of share difficulty* submitted before the find — not over everything ever
+submitted (which would dilute long-gone miners) and not per-round (which
+pool-hoppers exploit).  ``N`` is the window score: one unit equals one
+difficulty-1 share, so a difficulty-8 share both contributes weight 8 and
+pushes 8 units of older work toward the edge of the window.
+
+Splits are exact integer allocations: each account gets
+``floor(reward * weight / total)`` and the remainder goes to the largest
+fractional parts (ties broken by account id), so the amounts always sum
+to ``reward`` — conservation is asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import PoolError
+
+
+class PPLNSWindow:
+    """Sliding window of the last N units of share difficulty."""
+
+    def __init__(self, window_score: float) -> None:
+        if window_score <= 0:
+            raise PoolError("window_score must be positive")
+        self.window_score = window_score
+        self._shares: deque[tuple[str, float]] = deque()
+        self._total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._shares)
+
+    @property
+    def total_score(self) -> float:
+        return self._total
+
+    def record_share(self, account: str, difficulty: float) -> None:
+        """Append one accepted share; evict the oldest past the window."""
+        if difficulty <= 0:
+            raise PoolError("share difficulty must be positive")
+        self._shares.append((account, difficulty))
+        self._total += difficulty
+        # Evict whole shares while the window still overflows without the
+        # oldest one (a share straddling the edge stays at full weight —
+        # shares are atomic).
+        while self._shares and self._total - self._shares[0][1] >= self.window_score:
+            _, evicted = self._shares.popleft()
+            self._total -= evicted
+
+    def weights(self) -> dict[str, float]:
+        """Per-account share-difficulty weight currently in the window."""
+        weights: dict[str, float] = {}
+        for account, difficulty in self._shares:
+            weights[account] = weights.get(account, 0.0) + difficulty
+        return weights
+
+    def splits(self, reward: int) -> dict[str, int]:
+        """Split an integer block reward over the window, exactly.
+
+        Returns ``{account: amount}`` with ``sum(amounts) == reward``;
+        empty when no shares are in the window (the pool keeps the
+        reward — there is no work to credit).
+        """
+        if reward < 0:
+            raise PoolError("reward must be >= 0")
+        weights = self.weights()
+        if not weights or reward == 0:
+            return {}
+        total = sum(weights.values())
+        amounts: dict[str, int] = {}
+        fractions: list[tuple[float, str]] = []
+        allocated = 0
+        for account in sorted(weights):
+            exact = reward * weights[account] / total
+            base = int(exact)
+            amounts[account] = base
+            allocated += base
+            fractions.append((exact - base, account))
+        # Largest remainder: biggest fractional part first, ties by
+        # account id (reverse-sorted so pop order is deterministic).
+        fractions.sort(key=lambda pair: (-pair[0], pair[1]))
+        for _, account in fractions[: reward - allocated]:
+            amounts[account] += 1
+        return {account: amount for account, amount in amounts.items() if amount}

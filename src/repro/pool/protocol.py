@@ -1,0 +1,145 @@
+"""Stratum-like JSON-lines wire protocol.
+
+One message per ``\\n``-terminated line, each line a single JSON object.
+Requests carry ``id`` (client-chosen integer), ``method`` and ``params``;
+responses echo the ``id`` with either ``result`` or ``error``; server →
+client notifications carry ``method``/``params`` and ``id: null``.  All
+server output is serialized with sorted keys and no whitespace, so a
+scripted session produces a byte-identical transcript — the golden-session
+test pins exactly that.
+
+Methods (client → server)::
+
+    mining.subscribe   {agent, session?}    -> {session, nonce_start, nonce_count, difficulty, protocol}
+    mining.authorize   {account}            -> {authorized: true}
+    mining.submit      {job, nonce}         -> {status: "accepted", difficulty}
+
+Notifications (server → client)::
+
+    mining.notify          {job, header, height, clean}
+    mining.set_difficulty  {difficulty}
+
+Error objects are ``{code, message}`` where ``code`` is a stable slug from
+:data:`ERROR_CODES` — the same machine-readable contract
+:class:`~repro.errors.ValidationError` gives consensus rejections.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PoolError
+
+#: Protocol revision advertised in the subscribe result.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one wire line (bytes, newline included).  A peer exceeding
+#: it is disconnected — the cheap guard against memory-exhaustion floods.
+MAX_LINE_BYTES = 16_384
+
+#: Stable machine-readable rejection slugs.
+ERROR_CODES = (
+    "parse-error",      # line is not valid JSON / not an object
+    "bad-request",      # missing or ill-typed id/method/params
+    "unknown-method",   # method not in the table above
+    "not-subscribed",   # submit/authorize before mining.subscribe
+    "unauthorized",     # submit before mining.authorize
+    "banned",           # ban score exceeded the threshold
+    "stale-job",        # job id unknown or rotated out
+    "bad-nonce",        # nonce outside the client's assigned range
+    "duplicate-share",  # (job, nonce) already submitted by this client
+    "low-difficulty",   # digest does not meet the share target
+    "unverifiable",     # PoW evaluation itself failed (poisoned seed)
+    "overloaded",       # verification queue full (backpressure)
+)
+
+
+class PoolProtocolError(PoolError):
+    """A wire message violated the protocol.
+
+    ``code`` is a slug from :data:`ERROR_CODES`; the server turns it into
+    an error response (or a disconnect for unparseable peers).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown pool error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def encode(message: dict[str, Any]) -> bytes:
+    """Serialize one message to a wire line (deterministic byte form)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def request(request_id: int, method: str, params: dict[str, Any]) -> dict:
+    """A client->server request expecting a same-id response."""
+    return {"id": request_id, "method": method, "params": params}
+
+
+def response(request_id: int, result: dict[str, Any]) -> dict:
+    """The success reply to the request carrying ``request_id``."""
+    return {"id": request_id, "result": result, "error": None}
+
+
+def error_response(request_id: int | None, code: str, message: str) -> dict:
+    """The failure reply; ``code`` must be one of :data:`ERROR_CODES`."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown pool error code {code!r}")
+    return {
+        "id": request_id,
+        "result": None,
+        "error": {"code": code, "message": message},
+    }
+
+
+def notification(method: str, params: dict[str, Any]) -> dict:
+    """A server->client push (``id: null``): notify / set_difficulty."""
+    return {"id": None, "method": method, "params": params}
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`PoolProtocolError` (``parse-error``) for oversize,
+    non-JSON or non-object lines.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise PoolProtocolError(
+            "parse-error", f"line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PoolProtocolError("parse-error", f"bad JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise PoolProtocolError("parse-error", "message must be an object")
+    return message
+
+
+def parse_request(message: dict) -> tuple[int, str, dict]:
+    """Validate an inbound request's frame; returns (id, method, params).
+
+    Raises :class:`PoolProtocolError` (``bad-request``) on frame
+    violations — a non-integer id, a missing method, ill-typed params.
+    """
+    request_id = message.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise PoolProtocolError("bad-request", "id must be an integer")
+    method = message.get("method")
+    if not isinstance(method, str) or not method:
+        raise PoolProtocolError("bad-request", "method must be a string")
+    params = message.get("params", {})
+    if not isinstance(params, dict):
+        raise PoolProtocolError("bad-request", "params must be an object")
+    return request_id, method, params

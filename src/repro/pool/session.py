@@ -1,0 +1,113 @@
+"""Per-client session state and share accounting.
+
+A *session* outlives its TCP connection: ``mining.subscribe`` with a
+previously issued session id reattaches the same counters, vardiff state
+and nonce range, so a flapping client neither resets its difficulty nor
+collides with its own old work units.  Sessions also carry the ban score:
+invalid shares (bad nonce, wrong difficulty, garbage frames) add to it,
+accepted shares slowly work it off, and crossing ``ban_threshold`` flags
+the session banned — every later request is refused and the connection
+dropped, which is what turns an invalid-share flood into one cheap
+comparison per line instead of a verification job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pool.vardiff import Vardiff, VardiffConfig
+
+
+@dataclass(slots=True)
+class ShareCounters:
+    """Lifetime share accounting for one session."""
+
+    accepted: int = 0
+    stale: int = 0
+    invalid: int = 0
+    duplicate: int = 0
+    blocks_found: int = 0
+    #: Total share difficulty of every accepted share (the session's
+    #: contributed work, in difficulty-1 units).
+    score: float = 0.0
+
+
+@dataclass(slots=True)
+class ClientSession:
+    """One logical client, reconnect-safe across TCP connections."""
+
+    session_id: str
+    nonce_start: int
+    nonce_count: int
+    vardiff: Vardiff
+    account: str | None = None
+    authorized: bool = False
+    banned: bool = False
+    ban_score: float = 0.0
+    counters: ShareCounters = field(default_factory=ShareCounters)
+    #: Nonces already submitted per job id (duplicate-share detection);
+    #: pruned when jobs rotate out.
+    seen_nonces: dict[str, set[int]] = field(default_factory=dict)
+    #: Difficulty in effect for the previous job generation — a share
+    #: crossing a retarget is graded against the easier of the two, so an
+    #: honest in-flight share is never punished for a set_difficulty race.
+    previous_difficulty: float | None = None
+
+    @classmethod
+    def create(
+        cls,
+        session_id: str,
+        index: int,
+        config: VardiffConfig,
+        difficulty: float,
+        nonce_bits: int,
+    ) -> "ClientSession":
+        """Build a fresh session with the ``index``-th nonce work unit.
+
+        The 64-bit nonce space is partitioned into ``2**nonce_bits``-sized
+        work units by session index, so two clients can never submit the
+        same (job, nonce) pair and a client's duplicate-share set stays
+        meaningful across reconnects.
+        """
+        return cls(
+            session_id=session_id,
+            nonce_start=(index << nonce_bits) % (1 << 64),
+            nonce_count=1 << nonce_bits,
+            vardiff=Vardiff(config, difficulty),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def difficulty(self) -> float:
+        return self.vardiff.difficulty
+
+    def owns_nonce(self, nonce: int) -> bool:
+        return self.nonce_start <= nonce < self.nonce_start + self.nonce_count
+
+    def grading_difficulties(self) -> tuple[float, ...]:
+        """Difficulties a submitted share may be graded against."""
+        if self.previous_difficulty is None:
+            return (self.difficulty,)
+        return (self.difficulty, self.previous_difficulty)
+
+    # -- ban scoring ---------------------------------------------------
+    def record_invalid(self, weight: float, threshold: float) -> bool:
+        """Add ``weight`` to the ban score; returns True when the session
+        just crossed ``threshold`` (caller drops the connection)."""
+        self.counters.invalid += 1
+        self.ban_score += weight
+        if not self.banned and self.ban_score >= threshold:
+            self.banned = True
+            return True
+        return False
+
+    def record_accepted(self, difficulty: float) -> None:
+        """Credit an accepted share and decay the ban score."""
+        self.counters.accepted += 1
+        self.counters.score += difficulty
+        self.ban_score = max(0.0, self.ban_score - 0.25)
+
+    def prune_jobs(self, live_job_ids: set[str]) -> None:
+        """Drop duplicate-share bookkeeping for rotated-out jobs."""
+        for job_id in [j for j in self.seen_nonces if j not in live_job_ids]:
+            del self.seen_nonces[job_id]

@@ -1,0 +1,129 @@
+"""Per-client share-difficulty retargeting (vardiff).
+
+A pool hands each client a *share* difficulty far below the block
+difficulty so the client can prove steady progress; vardiff tunes that
+difficulty per client so every client submits roughly one share per
+``target_interval`` seconds regardless of its hash rate — fast rigs get
+hard shares (less pool-side verification traffic), slow rigs get easy
+ones (smooth payout accounting).
+
+The estimator is an exponential moving average of observed inter-share
+intervals.  Every ``retarget_shares`` shares (or after
+``retarget_seconds`` of wall clock, whichever first) the difficulty is
+rescaled by ``target_interval / ema`` — shares arriving twice as fast as
+wanted double the difficulty.  Steps are clamped to ``max_step``× per
+retarget, the result to ``[min_difficulty, max_difficulty]``, and changes
+inside the ``deadband`` are suppressed so a well-tuned client is never
+churned with `set_difficulty` spam.
+
+Deterministic by construction: the clock is injected (the server passes
+``time.monotonic``; tests pass a fake), and the hypothesis fuzz in
+``tests/test_pool_server.py`` drives bursty arrival patterns through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PoolError
+
+
+@dataclass(frozen=True, slots=True)
+class VardiffConfig:
+    """Retargeting policy knobs."""
+
+    #: Wanted seconds between shares from one client.
+    target_interval: float = 2.0
+    #: Consider a retarget every this many shares …
+    retarget_shares: int = 8
+    #: … or after this much wall clock since the last retarget.
+    retarget_seconds: float = 30.0
+    #: Difficulty clamp (inclusive).
+    min_difficulty: float = 1.0
+    max_difficulty: float = float(1 << 48)
+    #: Maximum factor one retarget may move the difficulty.
+    max_step: float = 4.0
+    #: EMA smoothing factor for the inter-share interval.
+    ema_alpha: float = 0.3
+    #: Suppress retargets that would move the difficulty by less than
+    #: this fraction (|new/old - 1| <= deadband keeps the old value).
+    deadband: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.target_interval <= 0:
+            raise PoolError("target_interval must be positive")
+        if self.retarget_shares < 1:
+            raise PoolError("retarget_shares must be >= 1")
+        if self.retarget_seconds <= 0:
+            raise PoolError("retarget_seconds must be positive")
+        if not 0 < self.min_difficulty <= self.max_difficulty:
+            raise PoolError("need 0 < min_difficulty <= max_difficulty")
+        if self.max_step <= 1.0:
+            raise PoolError("max_step must be > 1")
+        if not 0 < self.ema_alpha <= 1:
+            raise PoolError("ema_alpha must be in (0, 1]")
+        if self.deadband < 0:
+            raise PoolError("deadband must be >= 0")
+
+
+class Vardiff:
+    """EMA-of-interval retargeter for one client."""
+
+    def __init__(self, config: VardiffConfig, difficulty: float) -> None:
+        self.config = config
+        self.difficulty = self._clamp_global(difficulty)
+        self._ema: float | None = None
+        self._last_share: float | None = None
+        self._last_retarget: float | None = None
+        self._shares_since = 0
+        self.retargets = 0
+
+    def _clamp_global(self, difficulty: float) -> float:
+        return min(
+            self.config.max_difficulty,
+            max(self.config.min_difficulty, difficulty),
+        )
+
+    def record_share(self, now: float) -> float | None:
+        """Record one accepted share at monotonic time ``now``.
+
+        Returns the new difficulty when a retarget fired, else ``None``.
+        """
+        config = self.config
+        if self._last_retarget is None:
+            self._last_retarget = now
+        if self._last_share is not None:
+            interval = max(0.0, now - self._last_share)
+            self._ema = (
+                interval
+                if self._ema is None
+                else (1 - config.ema_alpha) * self._ema
+                + config.ema_alpha * interval
+            )
+        self._last_share = now
+        self._shares_since += 1
+        if self._ema is None:
+            return None
+        due = (
+            self._shares_since >= config.retarget_shares
+            or now - self._last_retarget >= config.retarget_seconds
+        )
+        if not due:
+            return None
+        self._shares_since = 0
+        self._last_retarget = now
+        # Shares arriving faster than wanted (small EMA) raise difficulty
+        # proportionally; an idle client (large EMA) gets easier shares.
+        # A zero EMA (bursts faster than the clock resolution) pins the
+        # step to its clamp instead of dividing by zero.
+        if self._ema <= 0.0:
+            factor = config.max_step
+        else:
+            factor = config.target_interval / self._ema
+        factor = min(config.max_step, max(1.0 / config.max_step, factor))
+        proposed = self._clamp_global(self.difficulty * factor)
+        if abs(proposed / self.difficulty - 1.0) <= config.deadband:
+            return None
+        self.difficulty = proposed
+        self.retargets += 1
+        return self.difficulty

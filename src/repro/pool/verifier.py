@@ -1,0 +1,169 @@
+"""Batched share verification.
+
+Every submitted share needs one PoW evaluation — for HashCore that is a
+full widget execution (verification *is* recomputation, §IV), far too
+expensive to pay per share with per-share event-loop and executor
+round-trips on top.  The verifier funnels all clients' shares into one
+bounded queue; a single drain task pulls whatever has accumulated (up to
+``batch_max``), computes the digests in **one** executor dispatch through
+``PowFunction.hash_batch`` (which deduplicates identical headers and
+routes shared-program groups onto the tier-3 lockstep engine), and
+resolves the per-share futures.  Under load the batch grows with the
+backlog, so verification cost amortizes across clients exactly when it
+matters; at idle every share still completes in one round trip.
+
+``batched=False`` keeps the API but verifies each share individually —
+the per-share baseline ``benchmarks/bench_poolserver.py`` races the
+batched path against.
+
+The queue is bounded: when verification cannot keep up, ``digest``
+raises ``overloaded`` instead of buffering without limit, and the server
+turns that into an error response — backpressure, not memory growth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.core.pow import PowFunction
+from repro.errors import PoolError
+from repro.pool.protocol import PoolProtocolError
+
+
+@dataclass(slots=True)
+class VerifierStats:
+    """Batching effectiveness counters."""
+
+    shares: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    rejected_overload: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.shares / self.batches if self.batches else 0.0
+
+
+class BatchVerifier:
+    """Queue + drain task computing share digests in batches."""
+
+    def __init__(
+        self,
+        pow_fn: PowFunction,
+        *,
+        batch_max: int = 64,
+        queue_max: int = 8192,
+        batched: bool = True,
+    ) -> None:
+        if batch_max < 1:
+            raise PoolError("batch_max must be >= 1")
+        if queue_max < 1:
+            raise PoolError("queue_max must be >= 1")
+        self.pow_fn = pow_fn
+        self.batch_max = batch_max
+        self.batched = batched
+        self.stats = VerifierStats()
+        self._queue: asyncio.Queue[tuple[bytes, asyncio.Future]] = (
+            asyncio.Queue(maxsize=queue_max)
+        )
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the drain task (idempotent)."""
+        self._closed = False
+        if self.batched and self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain(), name="pool-verifier"
+            )
+
+    async def stop(self) -> None:
+        """Cancel the drain task and fail any queued shares."""
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while not self._queue.empty():
+            _, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(PoolError("verifier stopped"))
+
+    # ------------------------------------------------------------------
+    async def digest(self, data: bytes) -> bytes:
+        """Compute the PoW digest of one share's header bytes.
+
+        Batched mode enqueues and awaits the drain task; per-share mode
+        dispatches immediately.  Raises ``overloaded`` when the queue is
+        full (batched) — the caller's backpressure signal.
+        """
+        if self._closed:
+            raise PoolError("verifier stopped")
+        loop = asyncio.get_running_loop()
+        if not self.batched:
+            self.stats.shares += 1
+            self.stats.batches += 1
+            self.stats.max_batch = max(self.stats.max_batch, 1)
+            return await loop.run_in_executor(None, self.pow_fn.hash, data)
+        future: asyncio.Future = loop.create_future()
+        try:
+            self._queue.put_nowait((data, future))
+        except asyncio.QueueFull:
+            self.stats.rejected_overload += 1
+            raise PoolProtocolError(
+                "overloaded", "verification queue is full"
+            ) from None
+        return await future
+
+    # ------------------------------------------------------------------
+    def _compute(self, datas: list[bytes]) -> list[bytes]:
+        """One executor dispatch for a whole batch."""
+        hash_batch = getattr(self.pow_fn, "hash_batch", None)
+        if hash_batch is not None:
+            return hash_batch(datas)
+        return [self.pow_fn.hash(data) for data in datas]
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            data, future = await self._queue.get()
+            batch = [(data, future)]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            datas = [item[0] for item in batch]
+            try:
+                digests = await loop.run_in_executor(
+                    None, self._compute, datas
+                )
+            except Exception as exc:  # noqa: BLE001 — fan the failure out
+                # One poisoned share must not wedge its batch-mates:
+                # replay each share alone so only the culprit fails.
+                self.stats.shares += len(batch)
+                self.stats.batches += 1
+                for data, future in batch:
+                    if future.done():
+                        continue
+                    try:
+                        digest = await loop.run_in_executor(
+                            None, self.pow_fn.hash, data
+                        )
+                    except Exception as solo_exc:  # noqa: BLE001
+                        future.set_exception(solo_exc)
+                    else:
+                        future.set_result(digest)
+                del exc
+            else:
+                self.stats.shares += len(batch)
+                self.stats.batches += 1
+                self.stats.max_batch = max(self.stats.max_batch, len(batch))
+                for (data, future), digest in zip(batch, digests):
+                    if not future.done():
+                        future.set_result(digest)

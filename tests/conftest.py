@@ -31,6 +31,23 @@ def seed_of(tag: str | int) -> HashSeed:
 FAULTS_TIMEOUT_SECONDS = 120
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--soak", action="store_true", default=False,
+        help="run soak-marked high-concurrency pool load tests",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Soak tests opt in via ``--soak``; everything else always runs."""
+    if config.getoption("--soak"):
+        return
+    skip_soak = pytest.mark.skip(reason="soak test: pass --soak to run")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     """Arm a SIGALRM watchdog around every ``faults``-marked test."""

@@ -134,13 +134,24 @@ class TestMineAndSimulate:
 
 
 class TestPoolAndProfileFlag:
-    def test_pool_command(self, capsys):
+    def test_widgetpool_command(self, capsys):
         code, out, _ = run_cli(
-            capsys, "--instructions", "3000", "pool", "--size", "4"
+            capsys, "--instructions", "3000", "widgetpool", "--size", "4"
         )
         assert code == 0
         assert "pool size      : 4 widgets" in out
         assert "fingerprint" in out
+
+    def test_pool_server_command(self, capsys):
+        # A bounded sha256d pool run: starts, idles briefly, reports.
+        code, out, _ = run_cli(
+            capsys, "pool", "--pow", "sha256d", "--port", "0",
+            "--duration", "0.2", "--refresh", "0.05",
+        )
+        assert code == 0
+        assert "pool listening on 127.0.0.1:" in out
+        assert "shares : accepted=0" in out
+        assert "verify : 0 shares" in out
 
     def test_profile_flag_round_trip(self, capsys, tmp_path):
         # Export a profile, then hash against it.

@@ -1,0 +1,219 @@
+"""Mempool behaviour under interleaved template building and tip rotation.
+
+The pool server rebuilds block templates continuously while blocks keep
+confirming underneath it, so ``Mempool.select`` / ``remove_included`` /
+``revalidate`` must compose: selection stays pure and fee-stable between
+builds, confirmed transactions drop out, chained spends stay eligible
+across rotations, and copies invalidated by an external tip are evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+import pytest
+
+from repro.baselines.sha256d import Sha256d
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.lamport import Wallet
+from repro.blockchain.ledger import Ledger
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import mine_block
+from repro.blockchain.transaction import Transaction
+from repro.core.pow import difficulty_to_target, target_to_compact
+from repro.pool.jobs import ChainTemplateSource, JobManager
+
+POOL_ADDRESS = b"test-pool".ljust(32, b"\x00")
+
+
+def wallet(tag: str) -> Wallet:
+    return Wallet(hashlib.sha256(tag.encode()).digest())
+
+
+@pytest.fixture()
+def rig():
+    """(source, chain, mempool, ledger, alice, bob) wired like the pool."""
+    ledger = Ledger()
+    alice = wallet("alice")
+    bob = wallet("bob")
+    ledger.register(alice.address, 1000)
+    ledger.register(bob.address, 1000)
+    mempool = Mempool(ledger)
+    chain = Blockchain(
+        Sha256d(),
+        genesis_bits=target_to_compact(difficulty_to_target(2.0)),
+        schedule=RetargetSchedule(interval=10_000),
+    )
+    clock = itertools.count(100)
+    source = ChainTemplateSource(
+        chain, mempool, pool_address=POOL_ADDRESS,
+        now_fn=lambda: next(clock),
+    )
+    return source, chain, mempool, ledger, alice, bob
+
+
+def confirm_template(source):
+    """One pool tip rotation: build, mine, submit (applies + prunes)."""
+    block, height = source.build_template()
+    mined = mine_block(block, Sha256d(), max_attempts=500_000)
+    source.submit_block(mined.block)
+    return mined.block, height
+
+
+class TestSelectionStability:
+    def test_select_is_pure_between_builds(self, rig):
+        source, _, mempool, _, alice, bob = rig
+        for nonce, fee in enumerate((5, 3, 8)):
+            mempool.add(Transaction.create(alice, bob.address, 10, fee, nonce))
+        first, _ = source.build_template()
+        second, _ = source.build_template()
+        # Building a template must not consume or reorder the pool.
+        assert first.transactions[1:] == second.transactions[1:]
+        assert len(mempool) == 3
+
+    def test_equal_fee_ordering_is_insertion_order_independent(self, rig):
+        _, _, _, ledger, alice, bob = rig
+        carol = wallet("carol")
+        ledger.register(carol.address, 1000)
+        txs = [
+            Transaction.create(sender, bob.address, 10, 7, 0)
+            for sender in (alice, carol)
+        ]
+        orders = []
+        for batch in (txs, list(reversed(txs))):
+            pool = Mempool(ledger)
+            for tx in batch:
+                pool.add(tx)
+            orders.append([tx.tx_id() for tx in pool.select(10)])
+        assert orders[0] == orders[1]
+        # The documented tie-break: ascending tx_id at equal fee.
+        assert orders[0] == sorted(orders[0])
+
+    def test_cross_sender_fee_priority_with_nonce_chains(self, rig):
+        source, _, mempool, ledger, alice, bob = rig
+        carol = wallet("carol")
+        ledger.register(carol.address, 1000)
+        low = Transaction.create(alice, bob.address, 10, 1, 0)
+        high = Transaction.create(alice, bob.address, 10, 99, 1)
+        mid = Transaction.create(carol, bob.address, 10, 9, 0)
+        for tx in (low, high, mid):
+            mempool.add(tx)
+        # The rich nonce-1 spend is gated behind its cheap predecessor:
+        # it must not jump the queue, and carol's fee wins the first slot.
+        assert mempool.select(2) == [mid, low]
+        assert mempool.select(3) == [mid, low, high]
+        # Template assembly sees the same order after the coinbase.
+        block, _ = source.build_template()
+        assert list(block.transactions[1:]) == [
+            tx.serialize() for tx in (mid, low, high)
+        ]
+
+
+class TestTipRotation:
+    def test_chained_spends_drain_across_rotations(self, rig):
+        source, chain, mempool, ledger, alice, bob = rig
+        source.max_transactions = 1  # one transaction per block
+        fees = (5, 3, 8)
+        for nonce, fee in enumerate(fees):
+            mempool.add(Transaction.create(alice, bob.address, 10, fee, nonce))
+        for expected_nonce in range(3):
+            block, _ = confirm_template(source)
+            included = Transaction.deserialize(block.transactions[1])
+            # Nonce order, never fee order, within one sender's chain.
+            assert included.nonce == expected_nonce
+            assert len(mempool) == 2 - expected_nonce
+        assert chain.height() == 3
+        assert ledger.balance(alice.address) == 1000 - 3 * 10 - sum(fees)
+        assert ledger.balance(bob.address) == 1000 + 3 * 10
+
+    def test_confirmed_transactions_leave_the_next_template(self, rig):
+        source, _, mempool, _, alice, bob = rig
+        source.max_transactions = 1
+        tx0 = Transaction.create(alice, bob.address, 10, 2, 0)
+        tx1 = Transaction.create(alice, bob.address, 10, 2, 1)
+        mempool.add(tx0)
+        mempool.add(tx1)
+        confirm_template(source)  # confirms tx0
+        block, _ = source.build_template()
+        assert tx0.serialize() not in block.transactions
+        assert block.transactions[1] == tx1.serialize()
+
+    def test_interleaved_add_between_build_and_submit(self, rig):
+        # A transaction arriving after a template was built but before the
+        # block confirms must survive the rotation and appear next.
+        source, _, mempool, _, alice, bob = rig
+        mempool.add(Transaction.create(alice, bob.address, 10, 2, 0))
+        block, _ = source.build_template()
+        late = Transaction.create(alice, bob.address, 10, 4, 1)
+        mempool.add(late)
+        mined = mine_block(block, Sha256d(), max_attempts=500_000)
+        source.submit_block(mined.block)
+        assert len(mempool) == 1
+        nxt, _ = source.build_template()
+        assert nxt.transactions[1] == late.serialize()
+
+    def test_external_tip_stales_pool_copy(self, rig):
+        # The same transaction confirms through a block this pool did not
+        # build: revalidate must evict the stale copy, keep the successor.
+        source, _, mempool, ledger, alice, bob = rig
+        tx0 = Transaction.create(alice, bob.address, 10, 2, 0)
+        tx1 = Transaction.create(alice, bob.address, 10, 2, 1)
+        mempool.add(tx0)
+        mempool.add(tx1)
+        ledger.apply_block([tx0], wallet("rival").address)
+        assert mempool.revalidate() == 1
+        assert len(mempool) == 1
+        block, _ = source.build_template()
+        assert list(block.transactions[1:]) == [tx1.serialize()]
+
+    def test_revalidate_is_nonce_scoped(self, rig):
+        # A conflicting spend at the same nonce (different recipient)
+        # confirms externally.  revalidate evicts by stale nonce only:
+        # the orphaned successor stays pooled — pinned behaviour, callers
+        # must tolerate apply-time rejection for such leftovers.
+        _, _, mempool, ledger, alice, bob = rig
+        mempool.add(Transaction.create(alice, bob.address, 10, 2, 0))
+        mempool.add(Transaction.create(alice, bob.address, 10, 2, 1))
+        # A second wallet over the same seed re-derives the one-time keys,
+        # modelling a double-spend the honest wallet would refuse to sign.
+        alice_evil = wallet("alice")
+        rival_spend = Transaction.create(
+            alice_evil, wallet("carol").address, 1, 1, 0
+        )
+        ledger.apply_block([rival_spend], wallet("rival").address)
+        assert mempool.revalidate() == 1  # the nonce-0 copy only
+        leftover = mempool.select(10)
+        assert [tx.nonce for tx in leftover] == [1]
+
+
+class TestJobManagerRotation:
+    def test_clean_rotation_invalidates_previous_jobs(self, rig):
+        source, *_ = rig
+        manager = JobManager(source, max_jobs=4)
+        first = manager.rotate(clean=True)
+        refresh = manager.rotate(clean=False)
+        assert manager.live_ids() == {first.job_id, refresh.job_id}
+        clean = manager.rotate(clean=True)
+        assert manager.live_ids() == {clean.job_id}
+
+    def test_refresh_window_evicts_oldest(self, rig):
+        source, *_ = rig
+        manager = JobManager(source, max_jobs=2)
+        jobs = [manager.rotate(clean=False) for _ in range(3)]
+        assert manager.live_ids() == {jobs[1].job_id, jobs[2].job_id}
+        assert manager.current.job_id == jobs[2].job_id
+
+    def test_rotation_tracks_confirmed_tip(self, rig):
+        source, chain, mempool, _, alice, bob = rig
+        mempool.add(Transaction.create(alice, bob.address, 10, 2, 0))
+        manager = JobManager(source)
+        before = manager.rotate(clean=True)
+        assert before.height == 1
+        assert len(before.transactions) == 2  # coinbase + the spend
+        confirm_template(source)
+        after = manager.rotate(clean=True)
+        assert after.height == 2
+        assert after.header.prev_hash == chain.tip_id
+        assert len(after.transactions) == 1  # mempool drained

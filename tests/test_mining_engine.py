@@ -6,7 +6,12 @@ import pytest
 
 from repro.baselines.sha256d import Sha256d
 from repro.blockchain.block import BlockHeader
-from repro.blockchain.mining_engine import MiningEngine, mine_header_engine
+from repro.blockchain.mining_engine import (
+    EngineReport,
+    MiningEngine,
+    WorkerStats,
+    mine_header_engine,
+)
 from repro.core.pow import (
     compact_to_target,
     difficulty_to_target,
@@ -131,6 +136,38 @@ class TestMiningEngine:
         )
         engine.close()
         assert solved.nonce >= 0 and solved2.nonce >= 0
+
+
+class TestZeroElapsedReports:
+    """Regression: reports generated before any chunk completes must give
+    a 0.0 hashrate, never raise or return inf."""
+
+    def test_report_before_any_mining(self):
+        engine = MiningEngine(Sha256d, workers=1)
+        try:
+            report = engine.report()
+        finally:
+            engine.close()
+        assert report.hashes == 0
+        assert report.wall_seconds == 0.0
+        assert report.hashrate == 0.0
+        assert report.health.healthy
+
+    def test_worker_stats_zero_busy_time(self):
+        stats = WorkerStats(pid=1)
+        assert stats.hashrate == 0.0
+        # A batch whose measured elapsed time rounded to zero must not
+        # divide by zero either.
+        stats.hashes = 5
+        assert stats.busy_seconds == 0.0
+        assert stats.hashrate == 0.0
+
+    def test_engine_report_zero_wall_time(self):
+        report = EngineReport(
+            workers=1, batches=1, hashes=10,
+            wall_seconds=0.0, busy_seconds=0.0, chunk=8,
+        )
+        assert report.hashrate == 0.0
 
 
 class TestConvenienceWrapper:

@@ -1,0 +1,127 @@
+"""Hypothesis round-trip properties for PoW target arithmetic.
+
+The pool grades every share through ``difficulty_to_target`` and headers
+carry targets in compact 'nBits' form, so the conversion lattice —
+
+    difficulty <-> target <-> compact
+
+— must round-trip within its documented precision and reject every
+boundary/overflow encoding instead of wrapping silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pow import (
+    MAX_TARGET,
+    compact_to_target,
+    difficulty_to_target,
+    target_to_compact,
+    target_to_difficulty,
+)
+from repro.errors import PowError
+
+#: Difficulties where integer target truncation stays far below the float
+#: tolerance (target >= 2**40 keeps the truncation error under 2**-40).
+_difficulties = st.floats(
+    min_value=1.0, max_value=2.0**200, allow_nan=False, allow_infinity=False
+)
+
+_targets = st.integers(min_value=1, max_value=MAX_TARGET)
+
+
+class TestDifficultyRoundTrip:
+    @given(_difficulties)
+    @settings(max_examples=200)
+    def test_difficulty_target_round_trip(self, difficulty):
+        target = difficulty_to_target(difficulty)
+        assert 1 <= target <= MAX_TARGET
+        recovered = target_to_difficulty(target)
+        # Truncating MAX_TARGET / difficulty to an integer loses at most
+        # one ulp of the target, so the recovered difficulty can only be
+        # equal or (fractionally) above, bounded by 1/target.
+        assert recovered >= difficulty * (1 - 1e-12)
+        assert recovered - difficulty <= recovered / target + 1e-9 * difficulty
+
+    @given(_targets)
+    @settings(max_examples=200)
+    def test_target_difficulty_monotone_inverse(self, target):
+        difficulty = target_to_difficulty(target)
+        assert difficulty >= 1.0
+        # Feeding the difficulty back yields a target no larger than the
+        # original (floor division) but within one part in 2**52.
+        back = difficulty_to_target(difficulty)
+        assert back <= MAX_TARGET
+        assert abs(back - target) <= max(1, target >> 40)
+
+
+class TestCompactRoundTrip:
+    @given(_targets)
+    @settings(max_examples=300)
+    def test_compact_is_idempotent_fixed_point(self, target):
+        """target -> compact -> target' is lossy once, then stable."""
+        compact = target_to_compact(target)
+        recovered = compact_to_target(compact)
+        assert 1 <= recovered <= MAX_TARGET
+        # The mantissa keeps the top 3 significant bytes: the recovered
+        # target never exceeds the original, and the truncation error is
+        # bounded by one unit of the compact exponent's byte scale.
+        assert recovered <= target
+        assert target - recovered < 1 << (8 * max(0, (compact >> 24) - 3))
+        assert target_to_compact(recovered) == compact
+        assert compact_to_target(target_to_compact(recovered)) == recovered
+
+    @given(st.integers(min_value=1, max_value=0x7FFFFF),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=300)
+    def test_compact_decode_encode_round_trip(self, mantissa, size):
+        """Every valid compact decodes, and re-encoding is stable."""
+        compact = (size << 24) | mantissa
+        try:
+            target = compact_to_target(compact)
+        except PowError:
+            # Legal failures only: a sub-3-byte size shifting the whole
+            # mantissa away (zero target), or a 2^256 overflow.
+            if size <= 3:
+                assert mantissa >> (8 * (3 - size)) == 0
+            else:
+                assert mantissa << (8 * (size - 3)) > MAX_TARGET
+            return
+        assert 1 <= target <= MAX_TARGET
+        # Decode -> encode -> decode is the identity on decoded targets.
+        assert compact_to_target(target_to_compact(target)) == target
+
+    def test_boundary_compacts(self):
+        # Largest encodable target: size 32, full 3-byte mantissa.
+        top = compact_to_target((32 << 24) | 0x7FFFFF)
+        assert top <= MAX_TARGET
+        assert target_to_compact(top) == (32 << 24) | 0x7FFFFF
+        # Smallest: one mantissa bit at size 1.
+        assert compact_to_target((1 << 24) | 0x010000) == 1
+
+    def test_overflow_compact_rejected(self):
+        # size 33 shifts any mantissa past 2^256.
+        with pytest.raises(PowError):
+            compact_to_target((33 << 24) | 0x010000)
+
+    def test_negative_sign_bit_rejected(self):
+        with pytest.raises(PowError):
+            compact_to_target((4 << 24) | 0x800000)
+
+    def test_zero_mantissa_rejected(self):
+        with pytest.raises(PowError):
+            compact_to_target(4 << 24)
+
+    def test_underflow_compact_rejected(self):
+        # Size 1 keeps only the mantissa's top byte: 0x0000ff vanishes.
+        with pytest.raises(PowError):
+            compact_to_target((1 << 24) | 0x0000FF)
+
+    @given(_targets)
+    @settings(max_examples=200)
+    def test_encode_never_sets_sign_bit(self, target):
+        compact = target_to_compact(target)
+        assert not compact & 0x00800000
+        assert 1 <= compact >> 24 <= 33  # 0x7FFFFF at size 32 may carry
