@@ -1,0 +1,271 @@
+"""Durable chain-state benchmark: mempool ingest, block log, reorg cost.
+
+Three measured sections, written to ``BENCH_store.json``:
+
+* ``mempool`` — fee-market admission throughput.  Transactions are
+  pre-signed off the clock (Lamport signing dominates otherwise and is a
+  wallet cost, not a pool cost); the timed loop is pure ``Mempool.add``
+  — duplicate/floor/RBF/nonce checks plus the base-nonce ledger
+  validation — over chained spends from many senders.
+* ``store`` — append-only block log throughput at the ~100k-transaction
+  scale (default 500 blocks x 200 opaque transactions): sequential
+  append rate, cold-reopen index scan, full consensus replay
+  (``verify="tip"``), and the UTXO-index build over the replayed chain.
+* ``reorg`` — cost of switching an 8-block fork at the chain tip via
+  the undo window (rewind 4, apply 8) versus the same switch forced
+  through a full ledger rebuild (undo window too shallow) — the number
+  that justifies keeping undo records at all.
+
+The ``gate`` section is the small mempool-ingest point
+``check_regression.py`` re-measures (best-of-3, wall clock, 20%
+tolerance like the other wall-clock gates).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / ".." / "src"))
+
+from repro.baselines.sha256d import Sha256d
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain, block_id
+from repro.blockchain.difficulty import RetargetSchedule
+from repro.blockchain.ledger import Ledger
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import mine_block
+from repro.blockchain.store import BlockStore, UtxoIndex
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.lamport import Wallet
+from repro.core.pow import difficulty_to_target, target_to_compact
+
+POW = Sha256d()
+BITS = target_to_compact(difficulty_to_target(2.0))
+SCHEDULE = RetargetSchedule(interval=10_000)
+
+#: Shape of the committed regression-gate point (senders x chained txs).
+GATE_SENDERS = 40
+GATE_DEPTH = 25
+
+
+# ----------------------------------------------------------------------
+# mempool ingest
+# ----------------------------------------------------------------------
+def mempool_ingest(senders: int, depth: int) -> dict:
+    """Admission throughput over ``senders * depth`` pre-signed txs."""
+    ledger = Ledger()
+    wallets = []
+    for i in range(senders):
+        w = Wallet(hashlib.sha256(b"bench-store-%d" % i).digest())
+        ledger.register(w.address, 10 * depth + depth)
+        wallets.append(w)
+    sink = wallets[0].address
+    # Sign everything off the clock, interleaved round-robin by nonce so
+    # admission always sees each sender's next expected nonce.
+    txs = [
+        Transaction.create(w, sink, 1, 1 + (nonce % 7), nonce)
+        for nonce in range(depth)
+        for w in wallets
+    ]
+    pool = Mempool(ledger, max_size=len(txs))
+    start = time.perf_counter()
+    for tx in txs:
+        pool.add(tx)
+    seconds = time.perf_counter() - start
+    assert len(pool) == len(txs)
+    return {
+        "senders": senders,
+        "depth": depth,
+        "txs": len(txs),
+        "seconds": round(seconds, 4),
+        "ingest_tx_s": round(len(txs) / seconds, 1),
+    }
+
+
+def gate_point(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` run of the committed gate point (fastest run
+    is the least-perturbed measurement on a shared box)."""
+    rows = [mempool_ingest(GATE_SENDERS, GATE_DEPTH) for _ in range(repeats)]
+    return max(rows, key=lambda row: row["ingest_tx_s"])
+
+
+# ----------------------------------------------------------------------
+# block log at scale
+# ----------------------------------------------------------------------
+def _opaque_txs(height: int, count: int) -> list[bytes]:
+    """Coinbase plus ``count`` deterministic 40-byte opaque payloads."""
+    txs = [b"cb-%d" % height]
+    for i in range(count):
+        txs.append((b"tx-%d-%d-" % (height, i)).ljust(40, b"\xaa"))
+    return txs
+
+
+def _mine_chain(blocks: int, txs_per_block: int) -> tuple[Blockchain, list[Block]]:
+    chain = Blockchain(POW, SCHEDULE, genesis_bits=BITS)
+    mined: list[Block] = []
+    for height in range(1, blocks + 1):
+        template = Block.build(
+            prev_hash=chain.tip_id,
+            transactions=_opaque_txs(height, txs_per_block),
+            timestamp=100 + height,
+            bits=chain.expected_bits(chain.tip_id),
+        )
+        block = mine_block(template, POW, max_attempts=500_000,
+                           start_nonce=0).block
+        chain.add_block(block)
+        mined.append(block)
+    return chain, mined
+
+
+def store_scale(blocks: int, txs_per_block: int, workdir: pathlib.Path) -> dict:
+    chain, mined = _mine_chain(blocks, txs_per_block)
+    path = workdir / "bench_store.log"
+
+    store = BlockStore(path, genesis_id=chain.genesis_id)
+    start = time.perf_counter()
+    for block in mined:
+        store.append(block)
+    append_s = time.perf_counter() - start
+    store.close()
+    size = path.stat().st_size
+
+    cold = BlockStore(path)
+    start = time.perf_counter()
+    cold.reopen()
+    reopen_s = time.perf_counter() - start
+    assert len(cold) == blocks and cold.recovery["dropped_bytes"] == 0
+
+    start = time.perf_counter()
+    replayed = Blockchain(POW, SCHEDULE, genesis_bits=BITS, store=cold)
+    replay_s = time.perf_counter() - start
+    assert replayed.tip_id == chain.tip_id
+
+    index = UtxoIndex()
+    start = time.perf_counter()
+    index.advance(replayed)
+    index_s = time.perf_counter() - start
+    assert index.height == blocks
+    cold.close()
+
+    total_txs = blocks * (txs_per_block + 1)
+    return {
+        "blocks": blocks,
+        "txs_per_block": txs_per_block + 1,
+        "total_txs": total_txs,
+        "file_mb": round(size / 1e6, 2),
+        "append_seconds": round(append_s, 4),
+        "append_blocks_s": round(blocks / append_s, 1),
+        "append_tx_s": round(total_txs / append_s, 1),
+        "reopen_seconds": round(reopen_s, 4),
+        "replay_seconds": round(replay_s, 4),
+        "index_build_seconds": round(index_s, 4),
+    }, chain
+
+
+def reorg_cost(chain: Blockchain, fork_len: int = 8, fork_back: int = 4) -> dict:
+    """Tip-switch cost through the undo window vs a forced full rebuild."""
+    tip_height = chain.height()
+    # Index snapshots at the pre-fork tip, one per strategy.
+    windowed = UtxoIndex(max_undo=64)
+    windowed.advance(chain)
+    shallow = UtxoIndex(max_undo=2)  # window < fork depth -> rebuild
+    shallow.advance(chain)
+
+    parent = block_id(chain.main_chain()[tip_height - fork_back])
+    for i in range(fork_len):
+        height = tip_height - fork_back + 1 + i
+        template = Block.build(
+            prev_hash=parent,
+            transactions=[b"fork-%d" % i],
+            timestamp=1000 + height,
+            bits=chain.expected_bits(parent),
+        )
+        block = mine_block(template, POW, max_attempts=500_000,
+                           start_nonce=7).block
+        chain.add_block(block)
+        parent = block_id(block)
+    assert chain.tip_id == parent  # the longer fork won
+
+    start = time.perf_counter()
+    moved = windowed.advance(chain)
+    window_s = time.perf_counter() - start
+    assert moved == {"applied": fork_len, "undone": fork_back,
+                     "rebuilt": False}
+
+    start = time.perf_counter()
+    rebuilt = shallow.advance(chain)
+    rebuild_s = time.perf_counter() - start
+    assert rebuilt["rebuilt"] is True
+    assert shallow.ledger.accounts == windowed.ledger.accounts
+
+    return {
+        "chain_height": chain.height(),
+        "fork_len": fork_len,
+        "fork_back": fork_back,
+        "window_seconds": round(window_s, 5),
+        "rebuild_seconds": round(rebuild_s, 5),
+        "window_speedup": round(window_s and rebuild_s / window_s, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=500,
+                        help="chain length for the store-scale section")
+    parser.add_argument("--txs-per-block", type=int, default=200,
+                        help="opaque transactions per block (plus coinbase)")
+    parser.add_argument("--senders", type=int, default=GATE_SENDERS,
+                        help="mempool-ingest senders")
+    parser.add_argument("--depth", type=int, default=GATE_DEPTH,
+                        help="chained transactions per sender")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_store.json"))
+    args = parser.parse_args(argv)
+
+    print(f"mempool ingest ({args.senders} senders x {args.depth} txs)...")
+    mempool = mempool_ingest(args.senders, args.depth)
+    print(f"  {mempool['ingest_tx_s']:.1f} tx/s over {mempool['txs']} txs")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(f"block log ({args.blocks} blocks x "
+              f"{args.txs_per_block + 1} txs)...")
+        store, chain = store_scale(
+            args.blocks, args.txs_per_block, pathlib.Path(tmp)
+        )
+        print(f"  append {store['append_tx_s']:.0f} tx/s  "
+              f"reopen {store['reopen_seconds']:.3f}s  "
+              f"replay {store['replay_seconds']:.3f}s  "
+              f"({store['file_mb']} MB)")
+        reorg = reorg_cost(chain)
+        print(f"  reorg: window {reorg['window_seconds']*1e3:.2f} ms vs "
+              f"rebuild {reorg['rebuild_seconds']*1e3:.2f} ms "
+              f"({reorg['window_speedup']}x)")
+
+    print("gate point (best of 3)...")
+    gate = gate_point()
+    print(f"  {gate['ingest_tx_s']:.1f} tx/s")
+
+    payload = {
+        "mempool": mempool,
+        "store": store,
+        "reorg": reorg,
+        "gate": gate,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

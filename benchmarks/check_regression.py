@@ -35,6 +35,12 @@ re-measured (best-of-3) and fails the gate when its sustained shares/s
 fall more than ``--pool-threshold`` (default 20%) below the committed
 figure, or any share in the fresh run errors.
 
+A fifth gate protects *mempool ingest throughput*: when a committed
+``BENCH_store.json`` exists, the fee-market admission point (pre-signed
+chained spends from many senders; see ``bench_store.py``) is re-measured
+(best-of-3) and fails the gate when ingest tx/s falls more than
+``--store-threshold`` (default 20%) below the committed figure.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -203,6 +209,31 @@ def check_pool(committed_path: pathlib.Path, threshold: float) -> bool:
     return ok
 
 
+def check_store(committed_path: pathlib.Path, threshold: float) -> bool:
+    """Re-measure the committed mempool-ingest gate point; False on
+    regression past ``threshold``."""
+    from bench_store import GATE_DEPTH, GATE_SENDERS, gate_point
+
+    committed = json.loads(committed_path.read_text())
+    gate = committed.get("gate")
+    if not gate or "ingest_tx_s" not in gate:
+        print(f"{committed_path} has no gate point — regenerate it with "
+              f"benchmarks/bench_store.py")
+        return False
+    if (gate.get("senders"), gate.get("depth")) != (GATE_SENDERS, GATE_DEPTH):
+        print(f"{committed_path} gate point shape drifted from "
+              f"bench_store.py — regenerate it")
+        return False
+    fresh = gate_point()
+    old, new = gate["ingest_tx_s"], fresh["ingest_tx_s"]
+    drop = 1.0 - new / old
+    ok = drop <= threshold
+    print(f"store gate ({GATE_SENDERS} senders x {GATE_DEPTH} txs): "
+          f"committed {old:8.1f} tx/s, fresh {new:8.1f} tx/s ({-drop:+.1%})  "
+          f"{'ok' if ok else 'FAIL'}")
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--committed", type=pathlib.Path,
@@ -227,6 +258,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pool-threshold", type=float, default=0.20,
                         help="maximum tolerated sustained shares/s drop at "
                              "the gated pool load point")
+    parser.add_argument("--store", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_store.json"),
+                        help="committed durable chain-state artifact (gate "
+                             "skipped when absent)")
+    parser.add_argument("--store-threshold", type=float, default=0.20,
+                        help="maximum tolerated mempool ingest tx/s drop at "
+                             "the gated store point")
     parser.add_argument("--machine", choices=sorted(PRESETS), default=None,
                         help="machine preset (default: the committed one)")
     parser.add_argument("--instructions", type=int, default=None,
@@ -290,6 +328,12 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"no committed pool baseline at {args.pool}; "
               f"pool gate skipped")
+
+    if args.store.exists():
+        failed |= not check_store(args.store, args.store_threshold)
+    else:
+        print(f"no committed store baseline at {args.store}; "
+              f"store gate skipped")
 
     if failed:
         print(f"regression gate FAILED: a gated metric regressed past its "

@@ -35,7 +35,8 @@ from repro.blockchain.sim import (
 from repro.blockchain.lamport import LamportKeyPair, Wallet
 from repro.blockchain.transaction import Transaction
 from repro.blockchain.ledger import BLOCK_REWARD, Account, Ledger
-from repro.blockchain.mempool import Mempool
+from repro.blockchain.mempool import Mempool, fee_rate
+from repro.blockchain.store import BlockStore, UtxoIndex, decode_block, encode_block
 
 __all__ = [
     "merkle_root",
@@ -73,4 +74,9 @@ __all__ = [
     "Account",
     "Ledger",
     "Mempool",
+    "fee_rate",
+    "BlockStore",
+    "UtxoIndex",
+    "encode_block",
+    "decode_block",
 ]

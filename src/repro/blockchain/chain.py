@@ -11,6 +11,12 @@ Design notes:
   miner cannot grant itself an easy target.
 * Fork choice is accumulated expected work (Σ difficulty), ties broken by
   arrival order.
+* With a :class:`~repro.blockchain.store.BlockStore` attached, the chain
+  is durable: every accepted block is appended to the log, opening over a
+  non-empty log replays it (full consensus checks minus per-block PoW,
+  tip PoW verified), and entries keep only the 88-byte *header* in RAM —
+  bodies are fetched lazily from disk — so chain memory stays O(headers)
+  no matter how many transactions the blocks carry.
 """
 
 from __future__ import annotations
@@ -18,28 +24,45 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.blockchain.block import GENESIS_PREV_HASH, Block
+from repro.blockchain.block import GENESIS_PREV_HASH, Block, BlockHeader
 from repro.blockchain.difficulty import RetargetSchedule, next_compact_target
 from repro.core.pow import PowFunction, compact_to_target, meets_target, target_to_difficulty
-from repro.errors import ChainError, ValidationError
+from repro.errors import ChainError, StoreError, ValidationError
 
 
 def block_id(block: Block) -> bytes:
     """Identity hash of a block (double SHA-256 of the header)."""
-    data = block.header.serialize()
+    return header_id(block.header)
+
+
+def header_id(header: BlockHeader) -> bytes:
+    """Identity hash of a header (double SHA-256 of its 88 bytes)."""
+    data = header.serialize()
     return hashlib.sha256(hashlib.sha256(data).digest()).digest()
 
 
 @dataclass(slots=True)
 class _Entry:
-    block: Block
+    """Per-block chain state.  ``block`` is ``None`` for store-backed
+    entries — the body lives on disk and :meth:`Blockchain.get` reads it
+    back on demand; only the header stays resident."""
+
+    header: BlockHeader
     height: int
     total_work: float
     arrival: int
+    block: Block | None = None
 
 
 class Blockchain:
-    """A validating block store with fork choice."""
+    """A validating block store with fork choice.
+
+    ``store`` (optional) makes the chain durable: an empty log is bound to
+    this chain's genesis, a non-empty one is replayed into memory before
+    the constructor returns.  ``verify`` controls replay paranoia —
+    ``"tip"`` (default) re-runs PoW on the replayed tip only, ``"full"``
+    on every replayed block, ``"none"`` trusts the log's checksums.
+    """
 
     def __init__(
         self,
@@ -47,7 +70,11 @@ class Blockchain:
         schedule: RetargetSchedule | None = None,
         genesis_bits: int = 0x207FFFFF,
         genesis_time: int = 0,
+        store=None,
+        verify: str = "tip",
     ) -> None:
+        if verify not in ("tip", "full", "none"):
+            raise ChainError(f"unknown replay verify mode {verify!r}")
         self.pow_fn = pow_fn
         self.schedule = schedule or RetargetSchedule()
         genesis = Block.build(
@@ -59,9 +86,43 @@ class Blockchain:
         self._entries: dict[bytes, _Entry] = {}
         self._arrivals = 0
         gid = block_id(genesis)
-        self._entries[gid] = _Entry(block=genesis, height=0, total_work=0.0, arrival=0)
+        self._entries[gid] = _Entry(
+            header=genesis.header, height=0, total_work=0.0, arrival=0, block=genesis
+        )
         self._tip = gid
         self.genesis_id = gid
+        self.store = store
+        self.replayed = 0
+        if store is not None:
+            store.bind(gid)
+            self._replay(verify)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _replay(self, verify: str) -> None:
+        """Rebuild in-memory chain state from the attached store's log.
+
+        The log is in acceptance order, so parents always precede
+        children; every consensus rule re-runs except per-block PoW
+        (``verify="full"`` re-runs that too).  The tip's PoW is always
+        checked under ``verify="tip"`` — a log that replays to an unmined
+        tip is corrupt in a way checksums can't see."""
+        check_pow = verify == "full"
+        for bid, block in self.store.iter_blocks():
+            entry = self.validate_block(block, check_pow=check_pow)
+            self._arrivals += 1
+            entry.arrival = self._arrivals
+            entry.block = None  # body stays on disk
+            self._entries[bid] = entry
+            if entry.total_work > self._entries[self._tip].total_work:
+                self._tip = bid
+            self.replayed += 1
+        if verify == "tip" and self._tip != self.genesis_id:
+            header = self._entries[self._tip].header
+            target = compact_to_target(header.bits)
+            if not meets_target(self.pow_fn.hash(header.serialize()), target):
+                raise StoreError("replayed tip fails proof-of-work verification")
 
     # ------------------------------------------------------------------
     # queries
@@ -71,7 +132,10 @@ class Blockchain:
         return self._tip
 
     def tip(self) -> Block:
-        return self._entries[self._tip].block
+        return self.get(self._tip)
+
+    def tip_header(self) -> BlockHeader:
+        return self._entries[self._tip].header
 
     def height(self) -> int:
         return self._entries[self._tip].height
@@ -80,8 +144,19 @@ class Blockchain:
         return self._entries[self._tip].total_work
 
     def get(self, bid: bytes) -> Block:
+        """Full block by id — from memory, or lazily from the store for
+        durable chains (checksum re-verified on every disk read)."""
         try:
-            return self._entries[bid].block
+            entry = self._entries[bid]
+        except KeyError:
+            raise ChainError(f"unknown block {bid.hex()[:16]}") from None
+        if entry.block is not None:
+            return entry.block
+        return self.store.get(bid)
+
+    def header_of(self, bid: bytes) -> BlockHeader:
+        try:
+            return self._entries[bid].header
         except KeyError:
             raise ChainError(f"unknown block {bid.hex()[:16]}") from None
 
@@ -104,10 +179,10 @@ class Blockchain:
         cursor = self._tip
         while True:
             entry = self._entries[cursor]
-            out.append(entry.block)
+            out.append(self.get(cursor))
             if entry.height == 0:
                 break
-            cursor = entry.block.header.prev_hash
+            cursor = entry.header.prev_hash
         out.reverse()
         return out
 
@@ -119,29 +194,33 @@ class Blockchain:
         parent = self._entries[parent_id]
         child_height = parent.height + 1
         if child_height % self.schedule.interval != 0:
-            return parent.block.header.bits
+            return parent.header.bits
         # Walk back to the start of the parent's window.
         cursor = parent_id
         for _ in range(self.schedule.interval - 1):
             entry = self._entries[cursor]
             if entry.height == 0:
                 break
-            cursor = entry.block.header.prev_hash
-        window_start = self._entries[cursor].block.header.timestamp
+            cursor = entry.header.prev_hash
+        window_start = self._entries[cursor].header.timestamp
         return next_compact_target(
             self.schedule,
-            parent.block.header.bits,
+            parent.header.bits,
             window_start,
-            parent.block.header.timestamp,
+            parent.header.timestamp,
         )
 
-    def validate_block(self, block: Block) -> _Entry:
-        """Run all consensus checks; returns the prospective entry."""
+    def validate_block(self, block: Block, *, check_pow: bool = True) -> _Entry:
+        """Run all consensus checks; returns the prospective entry.
+
+        ``check_pow=False`` skips only the PoW evaluation (for replaying a
+        log this process already validated) — the work *credit* is still
+        computed from ``bits``, so fork choice is identical either way."""
         header = block.header
         parent = self._entries.get(header.prev_hash)
         if parent is None:
             raise ValidationError("unknown-parent", "unknown parent block")
-        if header.timestamp < parent.block.header.timestamp:
+        if header.timestamp < parent.header.timestamp:
             raise ValidationError("bad-timestamp", "timestamp precedes parent")
         expected = self.expected_bits(header.prev_hash)
         if header.bits != expected:
@@ -151,22 +230,27 @@ class Blockchain:
             )
         block.validate_merkle()
         target = compact_to_target(header.bits)
-        digest = self.pow_fn.hash(header.serialize())
-        if not meets_target(digest, target):
-            raise ValidationError("bad-pow", "proof of work does not meet target")
+        if check_pow:
+            digest = self.pow_fn.hash(header.serialize())
+            if not meets_target(digest, target):
+                raise ValidationError("bad-pow", "proof of work does not meet target")
         work = target_to_difficulty(target)
         return _Entry(
-            block=block,
+            header=header,
             height=parent.height + 1,
             total_work=parent.total_work + work,
             arrival=0,
+            block=block,
         )
 
     def add_block(self, block: Block) -> bytes:
         """Validate and store a block; returns its id.
 
         Fork choice moves the tip only when the new block's accumulated
-        work strictly exceeds the current tip's.
+        work strictly exceeds the current tip's.  On a durable chain the
+        block is logged *after* validation and indexed before the tip
+        moves, and the in-memory entry drops the body (disk is the copy
+        of record).
         """
         entry = self.validate_block(block)
         bid = block_id(block)
@@ -174,6 +258,9 @@ class Blockchain:
             raise ValidationError("duplicate-block", "duplicate block")
         self._arrivals += 1
         entry.arrival = self._arrivals
+        if self.store is not None:
+            self.store.append(block)
+            entry.block = None
         self._entries[bid] = entry
         if entry.total_work > self._entries[self._tip].total_work:
             self._tip = bid

@@ -1,9 +1,32 @@
-"""Fee-priority mempool.
+"""Fee-market mempool.
 
 Holds pending transactions, validates them against a ledger view on
-admission, and assembles block candidates greedily by fee — highest fee
+admission, and assembles block candidates greedily by fee rate — highest
 first, respecting per-account nonce order (a later-nonce transaction is
 only eligible once its predecessor is selected).
+
+Market mechanics (all admission rejections carry stable
+:class:`~repro.errors.ValidationError` codes from
+:data:`~repro.errors.MEMPOOL_REJECT_CODES`):
+
+* **Fee floor** — ``min_fee_rate`` (units per byte) rejects dust outright
+  (``fee-too-low``) before it can occupy a slot.
+* **Replace-by-fee** — a transaction for an occupied ``(sender, nonce)``
+  slot replaces the incumbent iff it pays at least ``rbf_min_bump`` more
+  fee (``rbf-bump-too-small`` otherwise).  Note that the Lamport wallet
+  burns a one-time key per signature, so producing a replacement requires
+  re-deriving the wallet from its seed — the mempool only checks the
+  economics.
+* **Bounded eviction** — at capacity, the incoming transaction must
+  strictly outbid the cheapest *evictable* entry or be rejected
+  (``mempool-full``).  Only per-sender chain *tails* (highest pending
+  nonce) are evictable — evicting mid-chain would strand every later
+  nonce — and the incoming sender's own tail never is, because the
+  incoming transaction chains on top of it.
+
+Transactions are fixed-size (:data:`TRANSACTION_BYTES`), so ordering by
+fee and by fee *rate* coincide; selection keeps the historical
+``(-fee, tx_id)`` key so block candidates are byte-stable across PRs.
 """
 
 from __future__ import annotations
@@ -11,8 +34,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.blockchain.ledger import Ledger
-from repro.blockchain.transaction import Transaction
-from repro.errors import ChainError
+from repro.blockchain.transaction import TRANSACTION_BYTES, Transaction
+from repro.errors import (
+    FEE_TOO_LOW,
+    MEMPOOL_FULL,
+    RBF_BUMP_TOO_SMALL,
+    ChainError,
+    ValidationError,
+)
+
+
+def fee_rate(tx: Transaction) -> float:
+    """Fee per serialized byte (transactions are fixed-size)."""
+    return tx.fee / TRANSACTION_BYTES
 
 
 @dataclass(slots=True)
@@ -21,10 +55,48 @@ class Mempool:
 
     ledger: Ledger
     max_size: int = 10_000
+    #: Admission floor in fee-per-byte; 0.0 disables the floor.
+    min_fee_rate: float = 0.0
+    #: Minimum absolute fee increase a replace-by-fee must pay.
+    rbf_min_bump: int = 1
     _by_id: dict[bytes, Transaction] = field(default_factory=dict)
+    #: ``sender -> {nonce -> txid}``; per-sender nonces are contiguous
+    #: from the ledger's base nonce, so ``max(keys)`` is the chain tail.
+    _by_sender: dict[bytes, dict[int, bytes]] = field(default_factory=dict)
+    #: Lifetime counters + the victims of the most recent ``add`` call.
+    evictions: int = 0
+    replacements: int = 0
+    last_evicted: list[Transaction] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self._by_id)
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._by_id
+
+    # ------------------------------------------------------------------
+    def _insert(self, txid: bytes, tx: Transaction) -> None:
+        self._by_id[txid] = tx
+        self._by_sender.setdefault(tx.sender, {})[tx.nonce] = txid
+
+    def _remove(self, txid: bytes) -> Transaction | None:
+        tx = self._by_id.pop(txid, None)
+        if tx is None:
+            return None
+        slots = self._by_sender.get(tx.sender)
+        if slots is not None and slots.get(tx.nonce) == txid:
+            del slots[tx.nonce]
+            if not slots:
+                del self._by_sender[tx.sender]
+        return tx
+
+    def _evictable(self, protect: bytes) -> list[Transaction]:
+        """Chain-tail transactions of every sender except ``protect``."""
+        return [
+            self._by_id[slots[max(slots)]]
+            for sender, slots in self._by_sender.items()
+            if sender != protect and slots
+        ]
 
     # ------------------------------------------------------------------
     def add(self, tx: Transaction) -> bytes:
@@ -32,18 +104,27 @@ class Mempool:
 
         Admission checks signature/balance/nonce against the current
         ledger, allowing nonce *gaps above* pending transactions of the
-        same sender (chained spends), and rejects duplicates and overflow.
+        same sender (chained spends).  Duplicates and nonce gaps raise
+        plain :class:`ChainError`; market rejections (fee floor, failed
+        RBF, full pool) raise :class:`ValidationError` with a code from
+        :data:`~repro.errors.MEMPOOL_REJECT_CODES`.  Capacity victims of
+        this call are left in :attr:`last_evicted`.
         """
-        if len(self._by_id) >= self.max_size:
-            raise ChainError("mempool full")
+        self.last_evicted = []
         txid = tx.tx_id()
         if txid in self._by_id:
             raise ChainError("duplicate transaction")
-        pending_nonces = [
-            p.nonce for p in self._by_id.values() if p.sender == tx.sender
-        ]
+        if self.min_fee_rate > 0.0 and fee_rate(tx) < self.min_fee_rate:
+            raise ValidationError(
+                FEE_TOO_LOW,
+                f"fee rate {fee_rate(tx):.6f}/byte under floor "
+                f"{self.min_fee_rate:.6f}/byte",
+            )
+        slots = self._by_sender.get(tx.sender, {})
         base_nonce = self.ledger.nonce(tx.sender)
-        expected = base_nonce + len(pending_nonces)
+        if tx.nonce in slots:
+            return self._replace(txid, tx, slots[tx.nonce], base_nonce)
+        expected = base_nonce + len(slots)
         if tx.nonce != expected:
             raise ChainError(
                 f"mempool nonce mismatch: expected {expected}, got {tx.nonce}"
@@ -51,12 +132,47 @@ class Mempool:
         if tx.nonce == base_nonce:
             # First pending spend: fully verifiable against the ledger now.
             self.ledger.validate_transaction(tx)
-        self._by_id[txid] = tx
+        while len(self._by_id) >= self.max_size:
+            candidates = self._evictable(tx.sender)
+            if not candidates:
+                raise ValidationError(
+                    MEMPOOL_FULL, "mempool full and nothing is evictable"
+                )
+            victim = min(candidates, key=lambda v: (v.fee, v.tx_id()))
+            if tx.fee <= victim.fee:
+                raise ValidationError(
+                    MEMPOOL_FULL,
+                    f"mempool full; fee {tx.fee} does not outbid cheapest "
+                    f"evictable entry paying {victim.fee}",
+                )
+            self._remove(victim.tx_id())
+            self.last_evicted.append(victim)
+            self.evictions += 1
+        self._insert(txid, tx)
         return txid
 
+    def _replace(
+        self, txid: bytes, tx: Transaction, old_id: bytes, base_nonce: int
+    ) -> bytes:
+        """Replace-by-fee: ``tx`` targets an occupied (sender, nonce) slot."""
+        old = self._by_id[old_id]
+        if tx.fee < old.fee + self.rbf_min_bump:
+            raise ValidationError(
+                RBF_BUMP_TOO_SMALL,
+                f"replacement fee {tx.fee} must be >= incumbent {old.fee} "
+                f"+ bump {self.rbf_min_bump}",
+            )
+        if tx.nonce == base_nonce:
+            self.ledger.validate_transaction(tx)
+        self._remove(old_id)
+        self._insert(txid, tx)
+        self.replacements += 1
+        return txid
+
+    # ------------------------------------------------------------------
     def select(self, max_transactions: int) -> list[Transaction]:
-        """Block-candidate selection: greedy by fee, nonce-ordered per
-        sender."""
+        """Block-candidate selection: greedy by fee (≡ fee rate — fixed
+        size), nonce-ordered per sender.  Pure: never mutates the pool."""
         if max_transactions < 1:
             raise ChainError("max_transactions must be >= 1")
         remaining = sorted(
@@ -85,7 +201,7 @@ class Mempool:
     def remove_included(self, transactions: list[Transaction]) -> None:
         """Drop transactions that made it into a block."""
         for tx in transactions:
-            self._by_id.pop(tx.tx_id(), None)
+            self._remove(tx.tx_id())
 
     def revalidate(self) -> int:
         """Drop transactions no longer valid against the ledger (stale
@@ -94,6 +210,14 @@ class Mempool:
         evicted = 0
         for txid, tx in list(self._by_id.items()):
             if tx.nonce < self.ledger.nonce(tx.sender):
-                del self._by_id[txid]
+                self._remove(txid)
                 evicted += 1
         return evicted
+
+    def stats(self) -> dict:
+        return {
+            "pending": len(self._by_id),
+            "senders": len(self._by_sender),
+            "evictions": self.evictions,
+            "replacements": self.replacements,
+        }

@@ -62,11 +62,20 @@ class Node:
         schedule: RetargetSchedule | None = None,
         genesis_bits: int = 0x207FFFFF,
         max_orphans: int = DEFAULT_MAX_ORPHANS,
+        store=None,
     ) -> None:
         if max_orphans < 1:
             raise ChainError("max_orphans must be >= 1")
         self.name = name
-        self.chain = Blockchain(pow_fn, schedule=schedule, genesis_bits=genesis_bits)
+        # Chain construction parameters are kept so restart() can rebuild
+        # the replica from the durable log with identical consensus rules.
+        self._pow_fn = pow_fn
+        self._schedule = schedule
+        self._genesis_bits = genesis_bits
+        self.store = store
+        self.chain = Blockchain(
+            pow_fn, schedule=schedule, genesis_bits=genesis_bits, store=store
+        )
         self.max_orphans = max_orphans
         self._orphans: dict[bytes, list[Block]] = {}  # parent id -> children
         self._orphan_fifo: deque[tuple[bytes, Block]] = deque()
@@ -167,8 +176,16 @@ class Node:
     # crash / restart
     # ------------------------------------------------------------------
     def crash(self) -> None:
-        """Take the node offline.  The chain survives (it is 'on disk');
-        the orphan buffer — in-memory state — is lost."""
+        """Take the node offline; volatile state is lost.
+
+        Without a store the chain object survives as a *fiction* ('it is
+        on disk') so amnesia-free restart stays available to the legacy
+        chaos scenarios.  With a store attached the fiction becomes fact:
+        the log's file handle is closed (as a dead process would), the
+        chain object is kept only as a post-mortem view for stats — a
+        subsequent :meth:`restart` discards it entirely and replays the
+        log from disk.  Orphan buffer and tx inventory — in-memory state
+        either way — are lost in both modes."""
         self.alive = False
         self.crashes += 1
         self._orphans.clear()
@@ -176,10 +193,30 @@ class Node:
         self._orphan_ids.clear()
         self._orphan_total = 0
         self.txpool.clear()
+        if self.store is not None:
+            self.store.close()
 
-    def restart(self) -> None:
+    def restart(self, store=None) -> None:
         """Bring a crashed node back; it resyncs via normal gossip plus the
-        chaos layer's parent-request protocol."""
+        chaos layer's parent-request protocol.
+
+        With a store (the argument, or the one the node was built with)
+        this is the real recovery path: the log is rescanned from disk —
+        torn tail truncated — and a fresh :class:`Blockchain` replays it
+        (full consensus checks minus per-block PoW, tip PoW verified).
+        Replay does not count toward :attr:`accepted`/:attr:`reorgs`:
+        those meter *network* events, and recovering your own blocks is
+        not one."""
+        store = store if store is not None else self.store
+        if store is not None:
+            store.reopen()
+            self.chain = Blockchain(
+                self._pow_fn,
+                schedule=self._schedule,
+                genesis_bits=self._genesis_bits,
+                store=store,
+            )
+            self.store = store
         self.alive = True
 
     # ------------------------------------------------------------------

@@ -143,6 +143,7 @@ class ChaosNetwork:
         scenario: Scenario,
         pow_fn: PowFunction,
         node_factory=None,
+        store_dir=None,
     ) -> None:
         factory = node_factory or Node
         self.scenario = scenario
@@ -153,15 +154,26 @@ class ChaosNetwork:
             block_time=float(scenario.block_time),
             interval=scenario.retarget_interval,
         )
-        self.nodes: list[Node] = [
-            factory(
-                f"node{i}",
-                pow_fn,
+        # ``store_dir`` is harness configuration, not part of the fault
+        # model: it lives here (and on ChaosRunner) rather than in
+        # Scenario, so scenario dicts — and therefore report bytes — are
+        # identical between in-memory and durable runs of the same seed.
+        def _build(i: int) -> Node:
+            kwargs = dict(
                 schedule=schedule,
                 genesis_bits=self.genesis_bits,
                 max_orphans=scenario.max_orphans,
             )
-            for i in range(scenario.n_nodes)
+            if store_dir is not None:
+                from pathlib import Path
+
+                from repro.blockchain.store import BlockStore
+
+                kwargs["store"] = BlockStore(Path(store_dir) / f"node{i}.log")
+            return factory(f"node{i}", pow_fn, **kwargs)
+
+        self.nodes: list[Node] = [
+            _build(i) for i in range(scenario.n_nodes)
         ]
         self.relay = scenario.relay
         self.fanout = resolve_fanout(scenario.fanout, scenario.n_nodes)
@@ -818,6 +830,7 @@ class ChaosRunner:
         pow_fn: PowFunction | None = None,
         node_factory=None,
         on_deliver: Callable[[int, _Msg, str], None] | None = None,
+        store_dir=None,
     ) -> None:
         self.scenario = scenario
         self.pow_fn = pow_fn or Sha256d()
@@ -825,10 +838,17 @@ class ChaosRunner:
         #: Forwarded to :attr:`ChaosNetwork.on_deliver` — the gossip
         #: determinism golden test pins the delivery trace through it.
         self.on_deliver = on_deliver
+        #: When set, every node persists its chain to
+        #: ``store_dir/node{i}.log`` and scheduled crash/restart faults
+        #: exercise the real close-handle → rescan → replay recovery path
+        #: instead of the in-memory fiction.
+        self.store_dir = store_dir
 
     def run(self) -> ChaosReport:
         scenario = self.scenario
-        net = ChaosNetwork(scenario, self.pow_fn, self.node_factory)
+        net = ChaosNetwork(
+            scenario, self.pow_fn, self.node_factory, store_dir=self.store_dir
+        )
         net.on_deliver = self.on_deliver
         mine_rng = _stream(scenario.seed, 0x2B0B)
         byz_rng = _stream(scenario.seed, 0x3CDE)

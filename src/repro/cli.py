@@ -197,8 +197,17 @@ def cmd_mine(args) -> int:
 
     hashcore = _hashcore(args)
     bits = target_to_compact(difficulty_to_target(args.difficulty))
+    store = None
+    if args.store is not None:
+        from repro.blockchain.store import BlockStore
+
+        store = BlockStore(args.store)
     chain = Blockchain(hashcore, genesis_bits=bits,
-                       schedule=RetargetSchedule(interval=10_000))
+                       schedule=RetargetSchedule(interval=10_000),
+                       store=store)
+    if store is not None and chain.replayed:
+        print(f"resumed from {args.store}: replayed {chain.replayed} blocks "
+              f"to height {chain.height()}")
     engine = None
     if args.workers > 1:
         from repro.blockchain.mining_engine import MiningEngine
@@ -211,7 +220,8 @@ def cmd_mine(args) -> int:
             factory, workers=args.workers, chunk_timeout=args.chunk_timeout
         )
     try:
-        for height in range(1, args.blocks + 1):
+        base = chain.height()  # nonzero when resuming from --store
+        for height in range(base + 1, base + args.blocks + 1):
             block = Block.build(
                 prev_hash=chain.tip_id,
                 transactions=[f"coinbase-{height}".encode()],
@@ -444,7 +454,7 @@ def cmd_chaos(args) -> int:
             relay=args.relay if args.relay is not None else "flood",
             fanout=args.fanout if args.fanout is not None else 0,
         )
-    report = ChaosRunner(scenario).run()
+    report = ChaosRunner(scenario, store_dir=args.store_dir).run()
     print(report.to_json())
     return 0 if report.ok() else 1
 
@@ -521,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="hung-chunk watchdog deadline (default: derived from the "
         "measured chunk timing; 0 disables)",
     )
+    p.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable block log; an existing log is replayed (resumes "
+        "mining from its tip), a missing one is created",
+    )
     p.set_defaults(fn=cmd_mine)
 
     p = sub.add_parser("pool", help="run the stratum-style mining-pool server")
@@ -575,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "file's; default flood)")
     p.add_argument("--fanout", type=int, default=None, metavar="K",
                    help="gossip relay fanout; 0 = auto (~sqrt(N), default)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="persist every node's chain to DIR/node{i}.log; "
+                        "crash faults then exercise real disk recovery")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("simulate", help="statistical mining-network study")

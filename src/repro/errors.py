@@ -44,12 +44,25 @@ class ChainError(ReproError):
     """A block or chain failed consensus validation."""
 
 
+class StoreError(ChainError):
+    """The durable chain store is missing, mismatched, or unrecoverable.
+
+    Raised for conditions recovery cannot paper over: a file that is not a
+    block log (bad magic), a log written for a *different* genesis, an
+    append against an unbound or closed store, or a replayed tip whose
+    proof of work fails verification.  Torn tails and corrupt records are
+    *not* errors — the store truncates to the longest checksummed prefix
+    and reports what it dropped (see ``BlockStore.recovery``).
+    """
+
+
 class ValidationError(ChainError):
     """A block failed one specific consensus check.
 
     ``code`` is a stable machine-readable slug (``unknown-parent``,
     ``bad-timestamp``, ``bad-bits``, ``duplicate-tx``, ``bad-merkle``,
-    ``bad-pow``, ``duplicate-block``) so callers — the gossip node's
+    ``bad-pow``, ``duplicate-block``, plus the mempool admission codes in
+    :data:`MEMPOOL_REJECT_CODES`) so callers — the gossip node's
     rejection statistics, the chaos harness's reports — can classify
     rejections without parsing message strings.
     """
@@ -57,6 +70,19 @@ class ValidationError(ChainError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
+
+
+#: Mempool admission-rejection codes (:class:`ValidationError` slugs, so
+#: callers assert ``exc.code`` rather than matching message strings):
+#: the pool is full and the incoming transaction does not outbid the
+#: cheapest evictable entry / the fee rate is under the configured floor /
+#: a replace-by-fee attempt does not bump the displaced fee by at least
+#: the configured minimum.
+MEMPOOL_FULL = "mempool-full"
+FEE_TOO_LOW = "fee-too-low"
+RBF_BUMP_TOO_SMALL = "rbf-bump-too-small"
+
+MEMPOOL_REJECT_CODES = (MEMPOOL_FULL, FEE_TOO_LOW, RBF_BUMP_TOO_SMALL)
 
 
 #: Stable machine-readable fault codes the supervised mining/execution

@@ -1,0 +1,297 @@
+"""Fee-market mempool tests: eviction ordering, RBF boundaries, selection
+purity, and the coded admission-rejection slugs.
+
+Conventions follow ``tests/test_mempool_rotation.py``: deterministic
+wallets from tagged seeds, and — because Lamport one-time keys refuse to
+re-sign a nonce — a replacement transaction is built from a *rebuilt*
+wallet over the same seed (the documented RBF pattern: replacing burns
+the one-time key either way).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain import Ledger, Mempool, Transaction, Wallet, fee_rate
+from repro.blockchain.transaction import TRANSACTION_BYTES
+from repro.errors import (
+    FEE_TOO_LOW,
+    MEMPOOL_FULL,
+    MEMPOOL_REJECT_CODES,
+    RBF_BUMP_TOO_SMALL,
+    ChainError,
+    ValidationError,
+)
+
+
+def wallet(tag: str) -> Wallet:
+    return Wallet(hashlib.sha256(tag.encode()).digest())
+
+
+def funded_pool(*tags: str, balance: int = 1000, **kwargs):
+    """A mempool over a ledger with one funded wallet per tag."""
+    ledger = Ledger()
+    wallets = []
+    for tag in tags:
+        w = wallet(tag)
+        ledger.register(w.address, balance)
+        wallets.append(w)
+    return Mempool(ledger, **kwargs), wallets
+
+
+class TestRejectionCodes:
+    """Satellite: admission failures carry stable codes, not prose."""
+
+    def test_codes_are_exported_and_distinct(self):
+        assert MEMPOOL_FULL in MEMPOOL_REJECT_CODES
+        assert FEE_TOO_LOW in MEMPOOL_REJECT_CODES
+        assert RBF_BUMP_TOO_SMALL in MEMPOOL_REJECT_CODES
+        assert len(set(MEMPOOL_REJECT_CODES)) == 3
+
+    def test_mempool_full_code(self):
+        pool, (alice, bob) = funded_pool("alice", "bob", max_size=1)
+        pool.add(Transaction.create(alice, bob.address, 10, 5, 0))
+        with pytest.raises(ValidationError) as exc:
+            pool.add(Transaction.create(bob, alice.address, 10, 5, 0))
+        assert exc.value.code == MEMPOOL_FULL
+
+    def test_fee_too_low_code(self):
+        pool, (alice, bob) = funded_pool(
+            "alice", "bob", min_fee_rate=10 / TRANSACTION_BYTES
+        )
+        with pytest.raises(ValidationError) as exc:
+            pool.add(Transaction.create(alice, bob.address, 10, 9, 0))
+        assert exc.value.code == FEE_TOO_LOW
+        # At the floor exactly: admitted.
+        pool.add(Transaction.create(bob, alice.address, 10, 10, 0))
+        assert len(pool) == 1
+
+    def test_rbf_bump_too_small_code(self):
+        pool, (alice, bob) = funded_pool("alice", "bob")
+        pool.add(Transaction.create(alice, bob.address, 10, 5, 0))
+        # Same fee, different payload (a byte-identical retry would be a
+        # duplicate — Lamport signing is deterministic).
+        retry = Transaction.create(wallet("alice"), bob.address, 11, 5, 0)
+        with pytest.raises(ValidationError) as exc:
+            pool.add(retry)
+        assert exc.value.code == RBF_BUMP_TOO_SMALL
+
+
+class TestReplaceByFee:
+    def test_replacement_swaps_the_slot(self):
+        pool, (alice, bob) = funded_pool("alice", "bob")
+        old = Transaction.create(alice, bob.address, 10, 5, 0)
+        pool.add(old)
+        new = Transaction.create(wallet("alice"), bob.address, 20, 6, 0)
+        pool.add(new)
+        assert len(pool) == 1
+        assert new.tx_id() in pool and old.tx_id() not in pool
+        assert pool.replacements == 1
+        assert pool.select(1) == [new]
+
+    def test_custom_minimum_bump_boundary(self):
+        pool, (alice, bob) = funded_pool("alice", "bob", rbf_min_bump=5)
+        pool.add(Transaction.create(alice, bob.address, 10, 5, 0))
+        with pytest.raises(ValidationError) as exc:
+            pool.add(Transaction.create(wallet("alice"), bob.address, 10, 9, 0))
+        assert exc.value.code == RBF_BUMP_TOO_SMALL
+        pool.add(Transaction.create(wallet("alice"), bob.address, 10, 10, 0))
+        assert pool.replacements == 1
+
+    def test_failed_rbf_keeps_incumbent(self):
+        pool, (alice, bob) = funded_pool("alice", "bob")
+        old = Transaction.create(alice, bob.address, 10, 5, 0)
+        pool.add(old)
+        with pytest.raises(ValidationError):
+            pool.add(Transaction.create(wallet("alice"), bob.address, 11, 5, 0))
+        assert old.tx_id() in pool and len(pool) == 1
+        assert pool.replacements == 0
+
+    def test_mid_chain_replacement_keeps_chain_selectable(self):
+        pool, (alice, bob) = funded_pool("alice", "bob")
+        tx0 = Transaction.create(alice, bob.address, 10, 2, 0)
+        tx1 = Transaction.create(alice, bob.address, 10, 2, 1)
+        pool.add(tx0)
+        pool.add(tx1)
+        new0 = Transaction.create(wallet("alice"), bob.address, 10, 4, 0)
+        pool.add(new0)
+        assert len(pool) == 2
+        assert pool.select(2) == [new0, tx1]
+
+    def test_rbf_still_ledger_validated_at_base_nonce(self):
+        pool, (alice, bob) = funded_pool("alice", "bob", balance=20)
+        pool.add(Transaction.create(alice, bob.address, 10, 5, 0))
+        # Replacement pays a bigger fee but overdraws the account.
+        with pytest.raises(ChainError):
+            pool.add(Transaction.create(wallet("alice"), bob.address, 10, 50, 0))
+
+
+class TestEviction:
+    def test_lowest_fee_tail_evicted_first(self):
+        pool, (a, b, c, d) = funded_pool("a", "b", "c", "d", max_size=2)
+        cheap = Transaction.create(a, d.address, 10, 1, 0)
+        rich = Transaction.create(b, d.address, 10, 9, 0)
+        pool.add(cheap)
+        pool.add(rich)
+        incoming = Transaction.create(c, d.address, 10, 4, 0)
+        pool.add(incoming)
+        assert len(pool) == 2
+        assert pool.last_evicted == [cheap]
+        assert pool.evictions == 1
+        assert cheap.tx_id() not in pool
+        assert rich.tx_id() in pool and incoming.tx_id() in pool
+
+    def test_equal_fee_does_not_evict(self):
+        pool, (a, b, c) = funded_pool("a", "b", "c", max_size=1)
+        pool.add(Transaction.create(a, c.address, 10, 4, 0))
+        with pytest.raises(ValidationError) as exc:
+            pool.add(Transaction.create(b, c.address, 10, 4, 0))
+        assert exc.value.code == MEMPOOL_FULL
+        assert pool.evictions == 0 and pool.last_evicted == []
+
+    def test_only_chain_tails_are_victims(self):
+        pool, (a, b, c, d) = funded_pool("a", "b", "c", "d", max_size=3)
+        head = Transaction.create(a, d.address, 10, 9, 0)   # protected head
+        tail = Transaction.create(a, d.address, 10, 1, 1)   # cheapest tail
+        other = Transaction.create(b, d.address, 10, 5, 0)
+        for tx in (head, tail, other):
+            pool.add(tx)
+        incoming = Transaction.create(c, d.address, 10, 3, 0)
+        pool.add(incoming)
+        # The cheapest entry overall is a's *tail*, so the chain head
+        # survives and the nonce sequence stays unbroken.
+        assert pool.last_evicted == [tail]
+        assert head.tx_id() in pool
+        assert pool.select(10) == [head, other, incoming]
+
+    def test_own_sender_tail_is_protected(self):
+        # The incoming tx chains on its sender's tail: evicting it would
+        # orphan the incoming nonce, so the add must fail instead.
+        pool, (alice, bob) = funded_pool("alice", "bob", max_size=1)
+        pool.add(Transaction.create(alice, bob.address, 10, 1, 0))
+        with pytest.raises(ValidationError) as exc:
+            pool.add(Transaction.create(alice, bob.address, 10, 99, 1))
+        assert exc.value.code == MEMPOOL_FULL
+
+    def test_nonce_gap_checked_before_eviction(self):
+        pool, (a, b, c) = funded_pool("a", "b", "c", max_size=1)
+        victim = Transaction.create(a, c.address, 10, 1, 0)
+        pool.add(victim)
+        with pytest.raises(ChainError):
+            pool.add(Transaction.create(b, c.address, 10, 9, 3))  # gap
+        # The invalid incoming must not have evicted anything.
+        assert victim.tx_id() in pool and pool.evictions == 0
+
+
+#: Tags for the differential fuzz below (wallets rebuilt per example —
+#: one-time keys sign once).
+_TAGS = [f"s{i}" for i in range(6)]
+
+
+class TestEvictionFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        fees=st.lists(
+            st.tuples(st.integers(0, len(_TAGS) - 1), st.integers(0, 15)),
+            min_size=1, max_size=12,
+        ),
+        cap=st.integers(1, 4),
+    )
+    def test_matches_reference_model(self, fees, cap):
+        """Differential: the pool's admit/evict/reject decisions match a
+        naive reference model (single-tx senders, so every entry is a
+        tail), and every transaction ends in exactly one bucket."""
+        pool, wallets = funded_pool(*_TAGS, max_size=cap)
+        model: dict[bytes, int] = {}  # txid -> fee
+        seen_senders = set()
+        outcomes = {"accepted": [], "evicted": [], "rejected": []}
+        for sender_idx, fee in fees:
+            if sender_idx in seen_senders:
+                continue  # one nonce-0 tx per sender: RBF is tested above
+            seen_senders.add(sender_idx)
+            tx = Transaction.create(
+                wallets[sender_idx], wallets[0].address, 1, fee, 0
+            )
+            txid = tx.tx_id()
+            # Reference decision.
+            if len(model) < cap:
+                expect = "accepted"
+            else:
+                victim = min(model, key=lambda t: (model[t], t))
+                expect = "accepted" if fee > model[victim] else "rejected"
+            try:
+                pool.add(tx)
+            except ValidationError as exc:
+                assert exc.code == MEMPOOL_FULL
+                assert expect == "rejected"
+                outcomes["rejected"].append(txid)
+                continue
+            assert expect == "accepted"
+            outcomes["accepted"].append(txid)
+            if len(model) >= cap:
+                del model[victim]
+                assert [v.tx_id() for v in pool.last_evicted] == [victim]
+                outcomes["evicted"].append(victim)
+            model[txid] = fee
+            assert len(pool) <= cap
+        # Pool contents equal the model, exactly.
+        assert {tx.tx_id() for tx in pool.select(100)} == set(model)
+        # Conservation: accepted = in-pool + evicted; nothing vanished.
+        assert set(outcomes["accepted"]) == set(model) | set(outcomes["evicted"])
+        assert pool.evictions == len(outcomes["evicted"])
+
+
+class TestSelectionPurity:
+    def test_select_is_pure_under_market_churn(self):
+        pool, (a, b, c, d) = funded_pool("a", "b", "c", "d", max_size=3)
+        pool.add(Transaction.create(a, d.address, 10, 2, 0))
+        pool.add(Transaction.create(b, d.address, 10, 7, 0))
+        pool.add(Transaction.create(c, d.address, 10, 4, 0))
+        pool.add(Transaction.create(wallet("a"), d.address, 10, 8, 0))  # RBF
+        pool.add(Transaction.create(d, a.address, 10, 5, 0))            # evicts c
+        before = len(pool)
+        first = pool.select(10)
+        second = pool.select(10)
+        assert first == second
+        assert len(pool) == before
+        # Historical ordering contract: descending fee, ascending txid.
+        fees = [tx.fee for tx in first]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_fee_rate_helper_matches_fixed_size(self):
+        pool, (a, b) = funded_pool("a", "b")
+        tx = Transaction.create(a, b.address, 10, 33, 0)
+        assert fee_rate(tx) == 33 / TRANSACTION_BYTES
+
+
+class TestIndexConsistency:
+    def test_sender_index_survives_block_application(self):
+        pool, (alice, bob) = funded_pool("alice", "bob")
+        miner = wallet("miner")
+        tx0 = Transaction.create(alice, bob.address, 10, 1, 0)
+        tx1 = Transaction.create(alice, bob.address, 10, 1, 1)
+        pool.add(tx0)
+        pool.add(tx1)
+        selected = pool.select(1)
+        pool.ledger.apply_block(selected, miner.address)
+        pool.remove_included(selected)
+        assert pool.revalidate() == 0
+        # The remaining nonce-1 slot still supports RBF after rotation.
+        bump = Transaction.create(wallet("alice"), bob.address, 10, 3, 1)
+        pool.add(bump)
+        assert pool.select(1) == [bump]
+        assert pool.stats()["senders"] == 1
+
+    def test_stats_counters(self):
+        pool, (a, b, c) = funded_pool("a", "b", "c", max_size=1)
+        pool.add(Transaction.create(a, c.address, 10, 1, 0))
+        pool.add(Transaction.create(b, c.address, 10, 5, 0))  # evicts a's
+        pool.add(Transaction.create(wallet("b"), c.address, 10, 7, 0))  # RBF
+        stats = pool.stats()
+        assert stats == {
+            "pending": 1, "senders": 1, "evictions": 1, "replacements": 1
+        }
